@@ -1,0 +1,69 @@
+// Ablation A2: contribution of the optimized flow's code-generation
+// features — cross-cluster instruction merging (Sec. 3.3.3), lazy
+// write-back with row-buffer operand chaining, and the clustering
+// refinement pass — each toggled off individually against the full
+// optimized configuration.
+#include <iostream>
+
+#include "bench/common.h"
+#include "support/table.h"
+
+using namespace sherlock;
+using namespace sherlock::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool merge;
+  bool eager;       // eager write-back (disables chaining)
+  bool chaining;    // target's row-buffer chaining
+  int refinePasses;
+  mapping::CodegenOptions::WaveOrder waveOrder =
+      mapping::CodegenOptions::WaveOrder::BLevel;
+};
+
+}  // namespace
+
+int main() {
+  const Variant variants[] = {
+      {"full opt", true, false, true, 2},
+      {"no instruction merging", false, false, true, 2},
+      {"eager write-back (no chaining)", true, true, true, 2},
+      {"no buffer chaining", true, false, false, 2},
+      {"no refinement", true, false, true, 0},
+      {"t-level (ASAP) waves", true, false, true, 2,
+       mapping::CodegenOptions::WaveOrder::TLevel},
+  };
+
+  Table t("Ablation A2 — optimized-flow features (512x512 ReRAM)");
+  t.setHeader({"Benchmark", "variant", "instructions", "spill writes",
+               "chained", "merged", "latency (us)", "energy (uJ)"});
+  for (const char* workload : kWorkloads) {
+    ir::Graph g = makeWorkload(workload);
+    for (const Variant& v : variants) {
+      isa::TargetSpec target = isa::TargetSpec::square(
+          512, device::TechnologyParams::reRam(), 2);
+      target.bufferChaining = v.chaining;
+      mapping::CompileOptions copts;
+      copts.strategy = mapping::Strategy::Optimized;
+      copts.mergeInstructions = v.merge;
+      copts.eagerWriteback = v.eager;
+      copts.optimizer.refinePasses = v.refinePasses;
+      copts.waveOrder = v.waveOrder;
+      auto compiled = mapping::compile(g, target, copts);
+      auto r = sim::simulate(g, target, compiled.program);
+      if (!r.verified) throw Error("verification failed");
+      t.addRow({workload, v.name,
+                std::to_string(compiled.program.instructions.size()),
+                std::to_string(compiled.program.stats.spillWrites),
+                std::to_string(compiled.program.stats.chainedOperands),
+                std::to_string(compiled.program.stats.mergedInstructions),
+                Table::num(r.latencyUs(), 2),
+                Table::num(r.energyUj(), 2)});
+    }
+    t.addSeparator();
+  }
+  t.print(std::cout);
+  return 0;
+}

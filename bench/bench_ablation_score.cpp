@@ -1,0 +1,43 @@
+// Ablation A1: sensitivity of the Eq. 1 clustering score
+//   score(d, C) = beta * |C| + alpha * sum rho(d, q)
+// to its constants. Sweeps alpha (dependency affinity) and beta (size
+// penalty) and reports crossing dependencies and simulated latency for
+// the optimized mapping, justifying the defaults (alpha = 1, beta = -0.5).
+#include <iostream>
+
+#include "bench/common.h"
+#include "mapping/clustering.h"
+#include "support/table.h"
+
+using namespace sherlock;
+using namespace sherlock::bench;
+
+int main() {
+  Table t("Ablation A1 — Eq. 1 constants (opt mapping, 512x512 ReRAM)");
+  t.setHeader({"Benchmark", "alpha", "beta", "clusters", "cross edges",
+               "instructions", "latency (us)"});
+  for (const char* workload : {"Bitweaving", "Sobel"}) {
+    ir::Graph g = makeWorkload(workload);
+    isa::TargetSpec target =
+        isa::TargetSpec::square(512, device::TechnologyParams::reRam(), 2);
+    for (double alpha : {0.0, 0.5, 1.0, 2.0}) {
+      for (double beta : {-2.0, -0.5, 0.0, 0.5}) {
+        mapping::CompileOptions copts;
+        copts.strategy = mapping::Strategy::Optimized;
+        copts.optimizer.alpha = alpha;
+        copts.optimizer.beta = beta;
+        auto compiled = mapping::compile(g, target, copts);
+        auto r = sim::simulate(g, target, compiled.program);
+        if (!r.verified) throw Error("verification failed");
+        t.addRow({workload, Table::num(alpha, 1), Table::num(beta, 1),
+                  std::to_string(compiled.clustering.clusters.size()),
+                  std::to_string(compiled.clustering.crossClusterEdges),
+                  std::to_string(compiled.program.instructions.size()),
+                  Table::num(r.latencyUs(), 2)});
+      }
+    }
+    t.addSeparator();
+  }
+  t.print(std::cout);
+  return 0;
+}

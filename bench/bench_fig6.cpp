@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 6: reliability of the Bitweaving kernel as the
+// allowed share of multi-row activations (> 2 operands) grows — the
+// latency / P_app trade-off curve, for
+//   (a) ReRAM with native scouting ops, and
+//   (b) STT-MRAM with the NAND-based implementation of XOR and OR.
+// Each series sweeps the node-substitution budget (the fraction of merge
+// opportunities applied); the annotation column is the resulting share of
+// operations with more than two operands, as annotated on the paper's
+// data points. The naive flow picks merges statically (near-linear
+// curve); the optimized flow's choices interact with mapping and
+// instruction merging (irregular curve, better P_app at equal latency).
+#include <iostream>
+
+#include "bench/common.h"
+#include "support/table.h"
+
+using namespace sherlock;
+using namespace sherlock::bench;
+
+int main() {
+  ir::Graph g = makeWorkload("Bitweaving");
+
+  for (auto [tech, lowered, title] :
+       {std::tuple{device::Technology::ReRam, false,
+                   "Fig. 6(a) — ReRAM, native scouting ops"},
+        std::tuple{device::Technology::SttMram, true,
+                   "Fig. 6(b) — STT-MRAM, NAND-based XOR/OR"}}) {
+    Table t(title);
+    t.setHeader({"mapping", "merge budget", "MRA>2 ops", "latency (us)",
+                 "P_app", "CIM ops"});
+    for (auto strategy :
+         {mapping::Strategy::Naive, mapping::Strategy::Optimized}) {
+      for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        RunConfig cfg;
+        cfg.tech = tech;
+        cfg.arrayDim = 512;
+        cfg.strategy = strategy;
+        cfg.mra = fraction == 0.0 ? 2 : 4;
+        cfg.mraFraction = fraction;
+        cfg.nandLowered = lowered;
+        RunResult r = runPipeline(g, cfg);
+        if (!r.sim.verified) throw Error("verification failed");
+        t.addRow({strategy == mapping::Strategy::Naive ? "naive" : "opt",
+                  Table::num(100 * fraction, 0) + "%",
+                  Table::num(100 * r.substitution.wideFraction(), 1) + "%",
+                  Table::num(r.sim.latencyUs(), 2),
+                  Table::sci(r.sim.pApp, 2),
+                  std::to_string(r.sim.cimColumnOps)});
+      }
+      t.addSeparator();
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Expected shape: latency falls and P_app rises with the MRA "
+               "budget; ReRAM stays highly reliable (P_app well below "
+               "1e-4-ish) while STT-MRAM, even NAND-lowered, trades "
+               "noticeably more reliability; the optimized mapping reaches "
+               "lower latency at comparable P_app.\n";
+  return 0;
+}

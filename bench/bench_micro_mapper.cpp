@@ -1,0 +1,87 @@
+// Micro-benchmarks (google-benchmark): compile-time scalability of the
+// Sherlock pipeline stages — b-level analysis, clustering, both mappers
+// and full compilation — on random DAGs of growing size.
+#include <benchmark/benchmark.h>
+
+#include "ir/analysis.h"
+#include "mapping/compiler.h"
+#include "transforms/passes.h"
+#include "transforms/substitution.h"
+#include "workloads/random_dag.h"
+
+using namespace sherlock;
+
+namespace {
+
+ir::Graph dagOfSize(int ops) {
+  workloads::RandomDagSpec spec;
+  spec.inputs = std::max(8, ops / 16);
+  spec.ops = ops;
+  spec.maxArity = 3;
+  spec.locality = 0.4;
+  spec.seed = 1234;
+  return workloads::buildRandomDag(spec);
+}
+
+isa::TargetSpec targetFor(const ir::Graph& g) {
+  // Generous target so every size fits.
+  isa::TargetSpec t =
+      isa::TargetSpec::square(512, device::TechnologyParams::reRam(), 3);
+  t.numArrays = 1 + static_cast<int>(g.valueCount()) / (512 * 400);
+  return t;
+}
+
+void BM_BLevels(benchmark::State& state) {
+  ir::Graph g = dagOfSize(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(ir::bLevels(g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BLevels)->Range(256, 16384)->Complexity();
+
+void BM_Canonicalize(benchmark::State& state) {
+  ir::Graph g = dagOfSize(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(transforms::canonicalize(g));
+}
+BENCHMARK(BM_Canonicalize)->Range(256, 16384);
+
+void BM_Substitution(benchmark::State& state) {
+  ir::Graph g = transforms::canonicalize(
+      dagOfSize(static_cast<int>(state.range(0))));
+  transforms::SubstitutionOptions opt;
+  opt.maxOperands = 4;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(transforms::substituteNodes(g, opt));
+}
+BENCHMARK(BM_Substitution)->Range(256, 16384);
+
+void BM_MapNaive(benchmark::State& state) {
+  ir::Graph g = transforms::canonicalize(
+      dagOfSize(static_cast<int>(state.range(0))));
+  isa::TargetSpec t = targetFor(g);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mapping::mapNaive(g, t));
+}
+BENCHMARK(BM_MapNaive)->Range(256, 16384);
+
+void BM_MapOptimized(benchmark::State& state) {
+  ir::Graph g = transforms::canonicalize(
+      dagOfSize(static_cast<int>(state.range(0))));
+  isa::TargetSpec t = targetFor(g);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mapping::mapOptimized(g, t));
+}
+BENCHMARK(BM_MapOptimized)->Range(256, 16384);
+
+void BM_CompileOptimizedEndToEnd(benchmark::State& state) {
+  ir::Graph g = transforms::canonicalize(
+      dagOfSize(static_cast<int>(state.range(0))));
+  isa::TargetSpec t = targetFor(g);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mapping::compile(g, t));
+}
+BENCHMARK(BM_CompileOptimizedEndToEnd)->Range(256, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Shared helpers for the benchmark harnesses: canonical workload
+// instances, target construction, and a one-call pipeline runner that
+// compiles and simulates a configuration and returns everything the
+// tables need.
+#pragma once
+
+#include <string>
+
+#include "cpu/cpu_model.h"
+#include "ir/analysis.h"
+#include "mapping/compiler.h"
+#include "sim/simulator.h"
+#include "transforms/nand_lowering.h"
+#include "transforms/passes.h"
+#include "transforms/substitution.h"
+#include "workloads/aes.h"
+#include "workloads/bitweaving.h"
+#include "workloads/sobel.h"
+
+namespace sherlock::bench {
+
+/// The evaluation instances (Sec. 4): a 32-segment BETWEEN scan, a
+/// 16-window Sobel strip, and full AES-128.
+inline ir::Graph makeWorkload(const std::string& name) {
+  if (name == "Bitweaving") {
+    workloads::BitweavingSpec s;
+    s.bits = 16;
+    s.segments = 32;
+    return transforms::canonicalize(workloads::buildBitweaving(s));
+  }
+  if (name == "Sobel") {
+    workloads::SobelSpec s;
+    s.width = 16;
+    return transforms::canonicalize(workloads::buildSobel(s));
+  }
+  if (name == "AES") {
+    return transforms::canonicalize(workloads::buildAes({10}));
+  }
+  throw Error(strCat("unknown workload ", name));
+}
+
+inline const char* kWorkloads[] = {"Bitweaving", "Sobel", "AES"};
+
+struct RunConfig {
+  device::Technology tech = device::Technology::ReRam;
+  int arrayDim = 1024;
+  mapping::Strategy strategy = mapping::Strategy::Optimized;
+  /// Maximum operands per op; > 2 applies the Sec. 3.3.3 node
+  /// substitution before mapping.
+  int mra = 2;
+  /// Fraction of merge opportunities when mra > 2 (Fig. 6 knob).
+  double mraFraction = 1.0;
+  /// Lower XOR/OR to NAND form first (STT-MRAM reliable flow, Fig. 6b).
+  bool nandLowered = false;
+};
+
+struct RunResult {
+  sim::SimResult sim;
+  mapping::CodegenStats stats;
+  size_t instructionCount = 0;
+  size_t opCount = 0;
+  transforms::SubstitutionStats substitution;
+};
+
+/// Bulk width of the evaluated workloads (bits of every logical operand).
+/// This is a property of the data, so it stays constant across array
+/// sizes: a smaller array simply needs more lockstepped slices.
+inline constexpr int kBulkBits = 4096;
+
+inline RunResult runPipeline(const ir::Graph& canonical,
+                             const RunConfig& cfg) {
+  isa::TargetSpec target = isa::TargetSpec::square(
+      cfg.arrayDim, device::TechnologyParams::forTechnology(cfg.tech),
+      cfg.mra);
+  target.geometry.dataWidthBits = kBulkBits;
+
+  ir::Graph working = cfg.nandLowered
+                          ? transforms::canonicalize(
+                                transforms::lowerToNand(canonical))
+                          : ir::Graph{};
+  const ir::Graph* base = cfg.nandLowered ? &working : &canonical;
+
+  RunResult out;
+  ir::Graph merged;
+  const ir::Graph* final = base;
+  if (cfg.mra > 2) {
+    transforms::SubstitutionOptions sopt;
+    sopt.maxOperands = cfg.mra;
+    sopt.fraction = cfg.mraFraction;
+    sopt.order = cfg.strategy == mapping::Strategy::Optimized
+                     ? transforms::MergeOrder::ByAffinity
+                     : transforms::MergeOrder::ByPriority;
+    auto sub = transforms::substituteNodes(*base, sopt);
+    merged = std::move(sub.graph);
+    out.substitution = sub.stats;
+    final = &merged;
+  }
+
+  mapping::CompileOptions copts;
+  copts.strategy = cfg.strategy;
+  auto compiled = mapping::compile(*final, target, copts);
+  out.sim = sim::simulate(*final, target, compiled.program);
+  out.stats = compiled.program.stats;
+  out.instructionCount = compiled.program.instructions.size();
+  out.opCount = final->opCount();
+  return out;
+}
+
+}  // namespace sherlock::bench

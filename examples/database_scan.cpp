@@ -1,0 +1,87 @@
+// Database column scan (the paper's running example): evaluate
+// `salary BETWEEN 45000 AND 90000` over a bit-sliced integer column with
+// the BitWeaving-V kernel on a CIM array, and cross-check every matched
+// row against a plain scan.
+//
+//   ./database_scan
+#include <iostream>
+#include <vector>
+
+#include "ir/evaluator.h"
+#include "mapping/compiler.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+#include "transforms/passes.h"
+#include "workloads/bitweaving.h"
+
+using namespace sherlock;
+
+int main() {
+  constexpr int kBits = 17;  // enough for salaries up to 128k
+  constexpr uint64_t kLow = 45000, kHigh = 90000;
+  constexpr int kRows = 64;  // one bulk word of database rows
+
+  // Synthesize the column.
+  Rng rng(2024);
+  std::vector<uint64_t> salaries(kRows);
+  for (auto& s : salaries) s = 30000 + rng.below(90000);
+
+  // Build and canonicalize the BETWEEN kernel.
+  workloads::BitweavingSpec spec;
+  spec.bits = kBits;
+  ir::Graph g = transforms::canonicalize(workloads::buildBitweaving(spec));
+
+  // Bit-slice the inputs: slice i of "v" holds bit i of every salary.
+  sim::SimOptions simOpts;
+  for (int bit = 0; bit < kBits; ++bit) {
+    uint64_t slice = 0;
+    for (int r = 0; r < kRows; ++r)
+      if ((salaries[static_cast<size_t>(r)] >> bit) & 1)
+        slice |= uint64_t{1} << r;
+    simOpts.inputs[strCat("v.", bit)] = slice;
+    simOpts.inputs[strCat("c1.", bit)] =
+        ((kLow >> bit) & 1) ? ~uint64_t{0} : 0;
+    simOpts.inputs[strCat("c2.", bit)] =
+        ((kHigh >> bit) & 1) ? ~uint64_t{0} : 0;
+  }
+
+  // Compile for a 512x512 ReRAM array and run.
+  isa::TargetSpec target =
+      isa::TargetSpec::square(512, device::TechnologyParams::reRam());
+  auto compiled = mapping::compile(g, target);
+  auto result = sim::simulate(g, target, compiled.program, simOpts);
+
+  std::cout << "Scanned " << kRows << " rows with "
+            << compiled.program.instructions.size()
+            << " CIM instructions in " << result.latencyNs << " ns ("
+            << result.energyPj / 1000.0 << " nJ), P_app = " << result.pApp
+            << (result.verified ? ", verified against the evaluator"
+                                : "")
+            << "\n\nMatches (salary in [45000, 90000]):\n";
+
+  // The simulator verified the CIM program against the evaluator; read the
+  // result slice through the evaluator for reporting.
+  auto words = ir::evaluateAllWords(g, simOpts.inputs);
+  uint64_t matches = words[static_cast<size_t>(g.outputs()[0])];
+  int shown = 0, total = 0;
+  for (int r = 0; r < kRows; ++r) {
+    bool cim = (matches >> r) & 1;
+    bool ref = salaries[static_cast<size_t>(r)] >= kLow &&
+               salaries[static_cast<size_t>(r)] <= kHigh;
+    if (cim != ref) {
+      std::cout << "MISMATCH at row " << r << "!\n";
+      return 1;
+    }
+    if (cim) {
+      ++total;
+      if (shown < 10) {
+        std::cout << "  row " << r << ": "
+                  << salaries[static_cast<size_t>(r)] << "\n";
+        ++shown;
+      }
+    }
+  }
+  std::cout << "  ... " << total << " of " << kRows
+            << " rows matched, all agreeing with the reference scan.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Image edge detection: run the bit-sliced Sobel kernel over a synthetic
+// grayscale image strip on a CIM array and render the edge mask as ASCII
+// art, cross-checked against a plain Sobel.
+//
+//   ./sobel_edge
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "ir/evaluator.h"
+#include "mapping/compiler.h"
+#include "sim/simulator.h"
+#include "transforms/passes.h"
+#include "workloads/sobel.h"
+
+using namespace sherlock;
+
+int main() {
+  // A 3 x 18 pixel patch with a bright diagonal band; the kernel computes
+  // 16 windows in one shot, each across 64 bulk lanes (here: 64
+  // independent strips; we fill them with shifted copies of the pattern).
+  workloads::SobelSpec spec;
+  spec.width = 16;
+  spec.threshold = 128;
+  const int cols = spec.width + 2;
+
+  auto pixel = [&](int lane, int r, int c) -> uint64_t {
+    // Diagonal edge whose position depends on the bulk lane.
+    int edge = (lane / 4) % (cols - 4) + 2;
+    return c + r >= edge ? 220 : 30;
+  };
+
+  ir::Graph g = transforms::canonicalize(workloads::buildSobel(spec));
+
+  sim::SimOptions simOpts;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < cols; ++c)
+      for (int bit = 0; bit < spec.pixelBits; ++bit) {
+        uint64_t slice = 0;
+        for (int lane = 0; lane < 64; ++lane)
+          if ((pixel(lane, r, c) >> bit) & 1) slice |= uint64_t{1} << lane;
+        simOpts.inputs[strCat(workloads::sobelPixelName(r, c), ".", bit)] =
+            slice;
+      }
+
+  isa::TargetSpec target =
+      isa::TargetSpec::square(512, device::TechnologyParams::reRam());
+  auto compiled = mapping::compile(g, target);
+  auto result = sim::simulate(g, target, compiled.program, simOpts);
+  std::cout << "Computed " << spec.width << " windows x 64 lanes with "
+            << compiled.program.instructions.size() << " instructions in "
+            << result.latencyNs / 1000.0 << " us"
+            << (result.verified ? " (verified)" : "") << "\n\n";
+
+  // Render: lanes 0..15 as rows, windows as columns.
+  auto words = ir::evaluateAllWords(g, simOpts.inputs);
+  std::cout << "Edge mask ('#' = edge) and reference check:\n";
+  for (int lane = 0; lane < 16; ++lane) {
+    std::cout << "  ";
+    for (int x = 0; x < spec.width; ++x) {
+      uint64_t slice = words[static_cast<size_t>(
+          g.outputs()[static_cast<size_t>(x)])];
+      bool cim = (slice >> lane) & 1;
+      // Plain Sobel reference on the same window.
+      uint64_t n[8] = {pixel(lane, 0, x),     pixel(lane, 0, x + 1),
+                       pixel(lane, 0, x + 2), pixel(lane, 1, x),
+                       pixel(lane, 1, x + 2), pixel(lane, 2, x),
+                       pixel(lane, 2, x + 1), pixel(lane, 2, x + 2)};
+      bool ref = workloads::sobelReference(n, spec);
+      if (cim != ref) {
+        std::cout << "\nMISMATCH at lane " << lane << " window " << x
+                  << "\n";
+        return 1;
+      }
+      std::cout << (cim ? '#' : '.');
+    }
+    std::cout << "\n";
+  }
+  std::cout << "All windows agree with the plain Sobel reference.\n";
+  return 0;
+}

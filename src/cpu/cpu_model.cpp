@@ -1,0 +1,71 @@
+#include "cpu/cpu_model.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace sherlock::cpu {
+
+CpuResult estimateCpu(const ir::Graph& g, int bulkBits,
+                      const CpuParams& params) {
+  checkArg(bulkBits > 0, "bulkBits must be positive");
+
+  CpuResult r;
+  long wordsPerValue = (bulkBits + 63) / 64;
+
+  // Count word-level operations and memory accesses (one load per operand
+  // occurrence, one store per produced value).
+  long loads = 0, stores = 0, aluOps = 0;
+  for (ir::NodeId i = g.firstId(); i < g.endId(); ++i) {
+    const ir::Node& n = g.node(i);
+    if (!n.isOp()) continue;
+    loads += static_cast<long>(n.operands.size()) * wordsPerValue;
+    stores += wordsPerValue;
+    // A k-operand bitwise op takes k-1 two-input word ops (plus the final
+    // negation for inverted forms, folded into the same count).
+    aluOps +=
+        std::max<long>(1, static_cast<long>(n.operands.size()) - 1) *
+        wordsPerValue;
+  }
+  r.wordOps = aluOps;
+  r.workingSetBytes =
+      static_cast<long>(g.valueCount()) * (bulkBits / 8);
+
+  // Memory-level distribution of loads by working-set residency.
+  double l1Frac, l2Frac, dramFrac;
+  if (r.workingSetBytes <= params.l1Bytes) {
+    l1Frac = 1.0;
+    l2Frac = dramFrac = 0.0;
+  } else if (r.workingSetBytes <= params.l2Bytes) {
+    l1Frac = static_cast<double>(params.l1Bytes) / r.workingSetBytes;
+    l2Frac = 1.0 - l1Frac;
+    dramFrac = 0.0;
+  } else {
+    l1Frac = static_cast<double>(params.l1Bytes) / r.workingSetBytes;
+    l2Frac = static_cast<double>(params.l2Bytes - params.l1Bytes) /
+             r.workingSetBytes;
+    dramFrac = 1.0 - l1Frac - l2Frac;
+  }
+
+  double cycleNs = 1.0 / params.clockGhz;
+  // In-order core: every instruction occupies at least one issue cycle;
+  // loads additionally pay their memory level's latency. Cache lines hold
+  // 8 words, so the level penalty amortizes over 8 sequential accesses.
+  double loadPenaltyNs =
+      (l1Frac * params.l1LatencyCycles * cycleNs +
+       (l2Frac * params.l2LatencyCycles * cycleNs +
+        dramFrac * params.dramLatencyNs) /
+           8.0);
+  long issueSlots = loads + stores + aluOps;
+  r.latencyNs = issueSlots * cycleNs + loads * loadPenaltyNs;
+
+  double cycles = r.latencyNs / cycleNs;
+  double lineAccesses = static_cast<double>(loads + stores) / 8.0;
+  r.energyPj = cycles * params.coreEnergyPerCyclePj +
+               lineAccesses * (l2Frac + dramFrac) *
+                   params.l2EnergyPerAccessPj +
+               lineAccesses * dramFrac * params.dramEnergyPerAccessPj;
+  return r;
+}
+
+}  // namespace sherlock::cpu

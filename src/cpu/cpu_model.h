@@ -1,0 +1,47 @@
+// CPU baseline cost model (gem5 stand-in) for the Fig. 7 energy-delay
+// comparison. Models the paper's Table 1 system: in-order x86 at 1 GHz
+// with 64 KiB L1D (2 cycles), 256 KiB L2 (20 cycles) and DRAM behind it.
+//
+// A bulk-bitwise DAG executed on the CPU processes each operation as
+// ceil(W/64) 64-bit word operations (SIMD-free in-order core), each
+// costing a load per operand, the ALU op, and a store. The memory level
+// feeding the loads follows from the kernel's working set (live values x
+// W/8 bytes) relative to the cache capacities.
+#pragma once
+
+#include "ir/graph.h"
+
+namespace sherlock::cpu {
+
+struct CpuParams {
+  double clockGhz = 1.0;
+  // Latencies in cycles (Table 1), DRAM in ns.
+  int l1LatencyCycles = 2;
+  int l2LatencyCycles = 20;
+  double dramLatencyNs = 80.0;
+  long l1Bytes = 64 * 1024;
+  long l2Bytes = 256 * 1024;
+  // Energy.
+  double coreEnergyPerCyclePj = 40.0;   // in-order core incl. L1
+  double l2EnergyPerAccessPj = 100.0;   // per 64 B line
+  double dramEnergyPerAccessPj = 2000.0;
+};
+
+struct CpuResult {
+  double latencyNs = 0;
+  double energyPj = 0;
+  long wordOps = 0;
+  long workingSetBytes = 0;
+
+  double latencyUs() const { return latencyNs * 1e-3; }
+  double energyUj() const { return energyPj * 1e-6; }
+  /// Energy-delay product in uJ * us (same unit as sim::SimResult::edp).
+  double edp() const { return energyUj() * latencyUs(); }
+};
+
+/// Estimates latency/energy of evaluating `g` on bulk operands of
+/// `bulkBits` width with the given CPU parameters.
+CpuResult estimateCpu(const ir::Graph& g, int bulkBits,
+                      const CpuParams& params = {});
+
+}  // namespace sherlock::cpu

@@ -1,0 +1,70 @@
+// Scouting-logic decision-failure model (paper Sec. 2.2 and Fig. 2).
+//
+// A scouting read activates r rows of one column; the sensed quantity is
+// the combined conductance of the r cells, compared against one or more
+// reference levels. With k cells in LRS the nominal conductance is
+//   mu_k = k * G_LRS + (r - k) * G_HRS,
+// and process variation gives it variance
+//   sigma_k^2 = k * s_LRS^2 + (r - k) * s_HRS^2 (+ reference noise).
+// Adjacent states are separated by the fixed gap dG = G_LRS - G_HRS while
+// their sigmas grow with the number of activated rows — this is exactly the
+// sense-margin erosion of Fig. 2(b).
+//
+// Which state boundaries the comparator must resolve depends on the logic
+// op: AND only separates the all-HRS state from its neighbor (low absolute
+// conductance, small sigmas -> robust); OR separates the all-LRS state
+// (largest sigmas -> weaker); XOR needs every adjacent pair (multi-level
+// parity sensing -> weakest, especially on low-TMR STT-MRAM).
+//
+// P_DF of one operation sums, over the required boundaries, the Gaussian
+// discrimination bound Q(dG / (sigma_k + sigma_{k+1})) with the reference
+// placed optimally between the adjacent state distributions.
+#pragma once
+
+#include "device/technology.h"
+#include "ir/ops.h"
+
+namespace sherlock::device {
+
+/// Sensing class of an operation. Inverted variants (NAND/NOR/XNOR) share
+/// the sensing of their base op — the output inverter is digital and
+/// error-free.
+enum class SenseKind { And, Or, Xor, PlainRead };
+
+/// Sensing class used by a DAG op. Not/Copy are plain single-row reads.
+SenseKind senseKindOf(ir::OpKind op);
+
+/// Probability that a scouting read of `rows` activated rows with sensing
+/// class `kind` produces a wrong output bit (per bit-slice decision).
+/// `rows` must be >= 1 (PlainRead) or >= 2 (logic ops) and is capped by the
+/// technology's maxActivatedRows. Result is clamped to [0, 0.5].
+double decisionFailureProbability(const TechnologyParams& tech,
+                                  SenseKind kind, int rows);
+
+/// Convenience overload dispatching on the IR op kind.
+double decisionFailureProbability(const TechnologyParams& tech,
+                                  ir::OpKind op, int rows);
+
+/// Probability of at least one failure across an application:
+/// P_app = 1 - prod_i (1 - P_DF_i). Accumulate in log space via this
+/// helper to stay accurate for tiny probabilities.
+class AppFailureAccumulator {
+ public:
+  /// Registers one executed operation with failure probability `pdf`.
+  void add(double pdf);
+
+  /// Registers `count` operations of identical failure probability.
+  void addMany(double pdf, long count);
+
+  /// Current P_app.
+  double probability() const;
+
+  /// Number of registered operations.
+  long operationCount() const { return count_; }
+
+ private:
+  double logSurvival_ = 0.0;  // sum of log(1 - P_DF_i)
+  long count_ = 0;
+};
+
+}  // namespace sherlock::device

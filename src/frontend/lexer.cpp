@@ -1,0 +1,173 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+
+#include "support/diagnostics.h"
+
+namespace sherlock::frontend {
+
+std::string tokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::KwInput: return "'input'";
+    case TokenKind::KwOutput: return "'output'";
+    case TokenKind::KwBit: return "'bit'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::Tilde: return "'~'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::LessEq: return "'<='";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::GreaterEq: return "'>='";
+    case TokenKind::EndOfFile: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1, column = 1;
+  size_t i = 0;
+
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n && i < source.size(); ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+  auto push = [&](TokenKind kind, std::string text, int64_t value = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.value = value;
+    t.line = line;
+    t.column = column;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < source.size() &&
+             !(source[i] == '*' && source[i + 1] == '/'))
+        advance();
+      if (i + 1 >= source.size())
+        throw ParseError("unterminated block comment", line, column);
+      advance(2);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      int startLine = line, startCol = column;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        word.push_back(source[i]);
+        advance();
+      }
+      Token t;
+      t.text = word;
+      t.line = startLine;
+      t.column = startCol;
+      if (word == "input")
+        t.kind = TokenKind::KwInput;
+      else if (word == "output")
+        t.kind = TokenKind::KwOutput;
+      else if (word == "bit")
+        t.kind = TokenKind::KwBit;
+      else if (word == "for")
+        t.kind = TokenKind::KwFor;
+      else
+        t.kind = TokenKind::Identifier;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      int startLine = line, startCol = column;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        digits.push_back(source[i]);
+        advance();
+      }
+      Token t;
+      t.kind = TokenKind::Number;
+      t.text = digits;
+      t.value = std::stoll(digits);
+      t.line = startLine;
+      t.column = startCol;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::LParen, "("); break;
+      case ')': push(TokenKind::RParen, ")"); break;
+      case '{': push(TokenKind::LBrace, "{"); break;
+      case '}': push(TokenKind::RBrace, "}"); break;
+      case '[': push(TokenKind::LBracket, "["); break;
+      case ']': push(TokenKind::RBracket, "]"); break;
+      case ';': push(TokenKind::Semicolon, ";"); break;
+      case ',': push(TokenKind::Comma, ","); break;
+      case '&': push(TokenKind::Amp, "&"); break;
+      case '|': push(TokenKind::Pipe, "|"); break;
+      case '^': push(TokenKind::Caret, "^"); break;
+      case '~': push(TokenKind::Tilde, "~"); break;
+      case '+': push(TokenKind::Plus, "+"); break;
+      case '-': push(TokenKind::Minus, "-"); break;
+      case '*': push(TokenKind::Star, "*"); break;
+      case '<':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::LessEq, "<=");
+          advance();
+        } else {
+          push(TokenKind::Less, "<");
+        }
+        break;
+      case '>':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::GreaterEq, ">=");
+          advance();
+        } else {
+          push(TokenKind::Greater, ">");
+        }
+        break;
+      case '=': push(TokenKind::Assign, "="); break;
+      default:
+        throw ParseError(strCat("unexpected character '", c, "'"), line,
+                         column);
+    }
+    advance();
+  }
+  push(TokenKind::EndOfFile, "");
+  return tokens;
+}
+
+}  // namespace sherlock::frontend

@@ -1,0 +1,57 @@
+// Lexer for the Sherlock kernel language — a C-like notation for bulk
+// bitwise kernels (the role pycparser plays in the paper's flow). See
+// parser.h for the grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sherlock::frontend {
+
+enum class TokenKind {
+  Identifier,
+  Number,
+  KwInput,
+  KwOutput,
+  KwBit,
+  KwFor,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Assign,     // =
+  Amp,        // &
+  Pipe,       // |
+  Caret,      // ^
+  Tilde,      // ~
+  Plus,
+  Minus,
+  Star,
+  Less,       // <
+  LessEq,     // <=
+  Greater,    // >
+  GreaterEq,  // >=
+  EndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;
+  int64_t value = 0;  ///< for Number
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source`; throws ParseError on invalid characters. Supports
+/// // line comments and /* block comments */.
+std::vector<Token> tokenize(const std::string& source);
+
+/// Token kind name for diagnostics.
+std::string tokenKindName(TokenKind kind);
+
+}  // namespace sherlock::frontend

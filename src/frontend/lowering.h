@@ -1,0 +1,20 @@
+// Lowering from the kernel-language AST to the DAG IR: unrolls constant
+// loops, evaluates integer expressions (array indices, loop headers) at
+// compile time, and expands bit expressions into DAG op nodes — producing
+// exactly the DFG the mapping algorithms consume (paper Fig. 1's
+// "DFG generation" stage).
+#pragma once
+
+#include <string>
+
+#include "ir/graph.h"
+
+namespace sherlock::frontend {
+
+/// Compiles kernel source into a DAG. Input declarations become named
+/// Input nodes ("name" for scalars, "name.<i>" for array elements);
+/// `output` symbols must be fully assigned and become graph outputs.
+/// Throws ParseError on syntax or semantic errors.
+ir::Graph compileKernel(const std::string& source);
+
+}  // namespace sherlock::frontend

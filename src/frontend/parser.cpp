@@ -1,0 +1,233 @@
+#include "frontend/parser.h"
+
+#include "support/diagnostics.h"
+
+namespace sherlock::frontend {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  std::vector<Stmt> parse() {
+    std::vector<Stmt> items;
+    while (!at(TokenKind::EndOfFile)) items.push_back(parseItem());
+    return items;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+
+  Token consume() { return tokens_[pos_++]; }
+
+  Token expect(TokenKind kind) {
+    if (!at(kind))
+      throw ParseError(strCat("expected ", tokenKindName(kind), ", found ",
+                              tokenKindName(peek().kind), " '", peek().text,
+                              "'"),
+                       peek().line, peek().column);
+    return consume();
+  }
+
+  std::unique_ptr<Expr> makeExpr(Expr::Kind kind, const Token& at) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = at.line;
+    e->column = at.column;
+    return e;
+  }
+
+  // ------------------------------------------------------- expressions
+  std::unique_ptr<Expr> parsePrimary() {
+    if (at(TokenKind::Number)) {
+      Token t = consume();
+      auto e = makeExpr(Expr::Kind::Number, t);
+      e->number = t.value;
+      return e;
+    }
+    if (at(TokenKind::Identifier)) {
+      Token t = consume();
+      auto e = makeExpr(Expr::Kind::Ref, t);
+      e->name = t.text;
+      if (at(TokenKind::LBracket)) {
+        consume();
+        e->index = parseExpr();
+        expect(TokenKind::RBracket);
+      }
+      return e;
+    }
+    if (at(TokenKind::LParen)) {
+      consume();
+      auto e = parseExpr();
+      expect(TokenKind::RParen);
+      return e;
+    }
+    throw ParseError(strCat("expected expression, found ",
+                            tokenKindName(peek().kind)),
+                     peek().line, peek().column);
+  }
+
+  std::unique_ptr<Expr> parseUnary() {
+    if (at(TokenKind::Tilde) || at(TokenKind::Minus)) {
+      Token t = consume();
+      auto e = makeExpr(
+          t.kind == TokenKind::Tilde ? Expr::Kind::Not : Expr::Kind::Neg, t);
+      e->lhs = parseUnary();
+      return e;
+    }
+    return parsePrimary();
+  }
+
+  std::unique_ptr<Expr> parseBinaryChain(
+      std::unique_ptr<Expr> (Parser::*next)(),
+      std::initializer_list<std::pair<TokenKind, Expr::Kind>> table) {
+    auto lhs = (this->*next)();
+    for (;;) {
+      bool matched = false;
+      for (const auto& [tok, kind] : table) {
+        if (!at(tok)) continue;
+        Token t = consume();
+        auto e = makeExpr(kind, t);
+        e->lhs = std::move(lhs);
+        e->rhs = (this->*next)();
+        lhs = std::move(e);
+        matched = true;
+        break;
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  std::unique_ptr<Expr> parseMul() {
+    return parseBinaryChain(&Parser::parseUnary,
+                            {{TokenKind::Star, Expr::Kind::Mul}});
+  }
+  std::unique_ptr<Expr> parseAdd() {
+    return parseBinaryChain(&Parser::parseMul,
+                            {{TokenKind::Plus, Expr::Kind::Add},
+                             {TokenKind::Minus, Expr::Kind::Sub}});
+  }
+  std::unique_ptr<Expr> parseRel() {
+    auto lhs = parseAdd();
+    for (const auto& [tok, kind] :
+         std::initializer_list<std::pair<TokenKind, Expr::Kind>>{
+             {TokenKind::Less, Expr::Kind::Lt},
+             {TokenKind::LessEq, Expr::Kind::Le},
+             {TokenKind::Greater, Expr::Kind::Gt},
+             {TokenKind::GreaterEq, Expr::Kind::Ge}}) {
+      if (at(tok)) {
+        Token t = consume();
+        auto e = makeExpr(kind, t);
+        e->lhs = std::move(lhs);
+        e->rhs = parseAdd();
+        return e;
+      }
+    }
+    return lhs;
+  }
+  std::unique_ptr<Expr> parseBand() {
+    return parseBinaryChain(&Parser::parseRel,
+                            {{TokenKind::Amp, Expr::Kind::And}});
+  }
+  std::unique_ptr<Expr> parseBxor() {
+    return parseBinaryChain(&Parser::parseBand,
+                            {{TokenKind::Caret, Expr::Kind::Xor}});
+  }
+  std::unique_ptr<Expr> parseExpr() {
+    return parseBinaryChain(&Parser::parseBxor,
+                            {{TokenKind::Pipe, Expr::Kind::Or}});
+  }
+
+  // --------------------------------------------------------- statements
+  Stmt parseDecl(Stmt::Kind kind) {
+    Token kw = consume();  // input/output/bit keyword
+    Stmt s;
+    s.kind = kind;
+    s.line = kw.line;
+    s.column = kw.column;
+    s.name = expect(TokenKind::Identifier).text;
+    if (at(TokenKind::LBracket)) {
+      consume();
+      Token n = expect(TokenKind::Number);
+      checkArg(n.value > 0, "array size must be positive");
+      s.arraySize = static_cast<int>(n.value);
+      expect(TokenKind::RBracket);
+    }
+    if (kind == Stmt::Kind::DeclBit && at(TokenKind::Assign)) {
+      consume();
+      s.value = parseExpr();
+    }
+    expect(TokenKind::Semicolon);
+    return s;
+  }
+
+  Stmt parseFor() {
+    Token kw = expect(TokenKind::KwFor);
+    Stmt s;
+    s.kind = Stmt::Kind::For;
+    s.line = kw.line;
+    s.column = kw.column;
+    expect(TokenKind::LParen);
+    s.name = expect(TokenKind::Identifier).text;
+    expect(TokenKind::Assign);
+    s.forInit = parseExpr();
+    expect(TokenKind::Semicolon);
+    s.forCond = parseExpr();
+    expect(TokenKind::Semicolon);
+    s.forStepVar = expect(TokenKind::Identifier).text;
+    expect(TokenKind::Assign);
+    s.forStep = parseExpr();
+    expect(TokenKind::RParen);
+    expect(TokenKind::LBrace);
+    while (!at(TokenKind::RBrace)) s.body.push_back(parseStmt());
+    expect(TokenKind::RBrace);
+    return s;
+  }
+
+  Stmt parseAssign() {
+    Token id = expect(TokenKind::Identifier);
+    Stmt s;
+    s.kind = Stmt::Kind::Assign;
+    s.line = id.line;
+    s.column = id.column;
+    s.name = id.text;
+    if (at(TokenKind::LBracket)) {
+      consume();
+      s.index = parseExpr();
+      expect(TokenKind::RBracket);
+    }
+    expect(TokenKind::Assign);
+    s.value = parseExpr();
+    expect(TokenKind::Semicolon);
+    return s;
+  }
+
+  Stmt parseStmt() {
+    if (at(TokenKind::KwFor)) return parseFor();
+    if (at(TokenKind::KwBit)) return parseDecl(Stmt::Kind::DeclBit);
+    return parseAssign();
+  }
+
+  Stmt parseItem() {
+    switch (peek().kind) {
+      case TokenKind::KwInput: return parseDecl(Stmt::Kind::DeclInput);
+      case TokenKind::KwOutput: return parseDecl(Stmt::Kind::DeclOutput);
+      case TokenKind::KwBit: return parseDecl(Stmt::Kind::DeclBit);
+      case TokenKind::KwFor: return parseFor();
+      default: return parseAssign();
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Stmt> parseProgram(const std::string& source) {
+  return Parser(tokenize(source)).parse();
+}
+
+}  // namespace sherlock::frontend

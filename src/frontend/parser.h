@@ -1,0 +1,90 @@
+// Parser for the Sherlock kernel language.
+//
+// Grammar (C-like; the front-end stands in for the paper's pycparser):
+//
+//   program   := item*
+//   item      := 'input'  name dims? ';'
+//              | 'output' name dims? ';'
+//              | 'bit'    name dims? ('=' expr)? ';'
+//              | stmt
+//   stmt      := lvalue '=' expr ';'
+//              | 'for' '(' name '=' expr ';' expr ';' name '=' expr ')'
+//                '{' stmt* '}'
+//   lvalue    := name ('[' expr ']')?
+//   dims      := '[' number ']'
+//
+// Expressions use C precedence restricted to the kernel domain:
+//   primary := number | name ('[' expr ']')? | '(' expr ')'
+//   unary   := ('~' | '-') unary | primary
+//   mul     := unary ('*' unary)*
+//   add     := mul (('+'|'-') mul)*
+//   rel     := add (('<'|'<='|'>'|'>=') add)?
+//   band    := rel ('&' rel)*
+//   bxor    := band ('^' band)*
+//   bor     := bxor ('|' bxor)*
+//
+// Bit expressions (& | ^ ~, bit constants 0/1) and integer expressions
+// (+ - *, loop variables, relationals) share this grammar; the lowering
+// pass type-checks usage by context (array indices and loop headers are
+// integers, assignments to bit variables are bits).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/lexer.h"
+
+namespace sherlock::frontend {
+
+struct Expr {
+  enum class Kind {
+    Number,
+    Ref,    // name, possibly with index
+    Not,    // ~a  (bit)
+    Neg,    // -a  (integer)
+    And,
+    Or,
+    Xor,
+    Add,
+    Sub,
+    Mul,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+  };
+
+  Kind kind = Kind::Number;
+  int64_t number = 0;
+  std::string name;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+  std::unique_ptr<Expr> index;  ///< for indexed Ref
+  int line = 0;
+  int column = 0;
+};
+
+struct Stmt {
+  enum class Kind { DeclInput, DeclOutput, DeclBit, Assign, For };
+
+  Kind kind = Kind::Assign;
+  // Declarations and assignment target.
+  std::string name;
+  int arraySize = -1;  ///< -1 = scalar
+  std::unique_ptr<Expr> index;  ///< assignment target index
+  std::unique_ptr<Expr> value;  ///< initializer / RHS
+  // For loops.
+  std::unique_ptr<Expr> forInit;
+  std::unique_ptr<Expr> forCond;
+  std::string forStepVar;
+  std::unique_ptr<Expr> forStep;
+  std::vector<Stmt> body;
+  int line = 0;
+  int column = 0;
+};
+
+/// Parses a kernel source into a statement list. Throws ParseError.
+std::vector<Stmt> parseProgram(const std::string& source);
+
+}  // namespace sherlock::frontend

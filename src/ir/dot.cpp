@@ -1,0 +1,38 @@
+#include "ir/dot.h"
+
+#include <sstream>
+
+#include "ir/analysis.h"
+
+namespace sherlock::ir {
+
+std::string toDot(const Graph& g, const std::string& graphName) {
+  auto levels = bLevels(g);
+  std::ostringstream os;
+  os << "digraph " << graphName << " {\n";
+  os << "  rankdir=TB;\n";
+  for (NodeId i = g.firstId(); i < g.endId(); ++i) {
+    const Node& n = g.node(i);
+    os << "  n" << i << " [";
+    if (n.isOp()) {
+      os << "label=\"" << opName(n.op) << "\\nb=" <<
+          levels[static_cast<size_t>(i)]
+         << "\", shape=circle, style=filled, fillcolor=lightblue";
+    } else {
+      std::string label = n.name.empty() ? strCat("v", i) : n.name;
+      os << "label=\"" << label
+         << "\", shape=box, style=filled, fillcolor=orange";
+    }
+    os << "];\n";
+  }
+  for (NodeId i = g.firstId(); i < g.endId(); ++i) {
+    const Node& n = g.node(i);
+    for (NodeId o : n.operands) os << "  n" << o << " -> n" << i << ";\n";
+  }
+  for (NodeId out : g.outputs())
+    os << "  n" << out << " [peripheries=2];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sherlock::ir

@@ -1,0 +1,16 @@
+// Graphviz DOT export of DAGs for debugging and documentation. Renders
+// operand nodes and operation nodes in the paper's style (operands orange,
+// operations blue, b-levels annotated).
+#pragma once
+
+#include <string>
+
+#include "ir/graph.h"
+
+namespace sherlock::ir {
+
+/// Produces a DOT representation of the DAG. Operation nodes are annotated
+/// with their b-level priority.
+std::string toDot(const Graph& g, const std::string& graphName = "dag");
+
+}  // namespace sherlock::ir

@@ -1,0 +1,30 @@
+// Reference (bit-accurate) evaluator of a DAG on bulk operands. Serves as
+// the functional ground truth the CIM simulator is checked against, and as
+// the software model for the CPU baseline.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "support/bitvector.h"
+
+namespace sherlock::ir {
+
+/// Maps input names to their bulk values. All vectors must share one width.
+using InputValues = std::map<std::string, BitVector>;
+
+/// Evaluates every node of `g` on `inputs`, returning one BitVector per
+/// node id. Throws Error if an input is missing or widths are inconsistent.
+std::vector<BitVector> evaluateAll(const Graph& g, const InputValues& inputs);
+
+/// Evaluates and returns only the marked outputs, in output order.
+std::vector<BitVector> evaluateOutputs(const Graph& g,
+                                       const InputValues& inputs);
+
+/// Convenience: evaluates on 64-bit slices (width-64 bulk words).
+std::vector<uint64_t> evaluateAllWords(
+    const Graph& g, const std::map<std::string, uint64_t>& inputs);
+
+}  // namespace sherlock::ir

@@ -1,0 +1,131 @@
+#include "ir/graph.h"
+
+#include <algorithm>
+
+namespace sherlock::ir {
+
+NodeId Graph::append(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Graph::addInput(std::string name) {
+  Node n;
+  n.kind = Node::Kind::Input;
+  n.name = std::move(name);
+  return append(std::move(n));
+}
+
+NodeId Graph::addConst(bool value) {
+  Node n;
+  n.kind = Node::Kind::Const;
+  n.constValue = value;
+  n.name = value ? "ones" : "zeros";
+  return append(std::move(n));
+}
+
+NodeId Graph::addOp(OpKind op, std::vector<NodeId> operands,
+                    std::string name) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  if (isUnary(op))
+    checkArg(operands.size() == 1,
+             strCat(opName(op), " requires exactly one operand"));
+  else
+    checkArg(operands.size() >= 2,
+             strCat(opName(op), " requires at least two operands"));
+  for (NodeId o : operands)
+    checkArg(o >= 0 && o < id,
+             strCat("operand id ", o, " invalid for new node ", id));
+
+  Node n;
+  n.kind = Node::Kind::Op;
+  n.op = op;
+  n.operands = operands;
+  n.name = std::move(name);
+  NodeId result = append(std::move(n));
+
+  // Register this op with each distinct producer.
+  std::sort(operands.begin(), operands.end());
+  operands.erase(std::unique(operands.begin(), operands.end()),
+                 operands.end());
+  for (NodeId o : operands)
+    nodes_[static_cast<size_t>(o)].users.push_back(result);
+  return result;
+}
+
+void Graph::markOutput(NodeId id) {
+  checkArg(id >= 0 && static_cast<size_t>(id) < nodes_.size(),
+           strCat("output id ", id, " out of range"));
+  // Outputs are an ordered list and may repeat: rewrites can alias two
+  // distinct outputs to one node, and consumers (e.g. bit-sliced state
+  // unpacking) rely on position.
+  outputs_.push_back(id);
+}
+
+size_t Graph::opCount() const {
+  return static_cast<size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.isOp(); }));
+}
+
+size_t Graph::inputCount() const {
+  return static_cast<size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.isInput(); }));
+}
+
+std::vector<NodeId> Graph::opNodes() const {
+  std::vector<NodeId> ids;
+  for (NodeId i = 0; i < endId(); ++i)
+    if (nodes_[static_cast<size_t>(i)].isOp()) ids.push_back(i);
+  return ids;
+}
+
+std::vector<NodeId> Graph::inputNodes() const {
+  std::vector<NodeId> ids;
+  for (NodeId i = 0; i < endId(); ++i)
+    if (nodes_[static_cast<size_t>(i)].isInput()) ids.push_back(i);
+  return ids;
+}
+
+void Graph::validate() const {
+  for (NodeId i = 0; i < endId(); ++i) {
+    const Node& n = nodes_[static_cast<size_t>(i)];
+    if (n.isOp()) {
+      if (isUnary(n.op) && n.operands.size() != 1)
+        throw IRError(strCat("node ", i, ": ", opName(n.op),
+                             " must have one operand"));
+      if (!isUnary(n.op) && n.operands.size() < 2)
+        throw IRError(strCat("node ", i, ": ", opName(n.op),
+                             " must have >= 2 operands"));
+      for (NodeId o : n.operands) {
+        if (o < 0 || o >= i)
+          throw IRError(strCat("node ", i, ": operand ", o,
+                               " violates topological id order"));
+        const Node& prod = nodes_[static_cast<size_t>(o)];
+        if (std::find(prod.users.begin(), prod.users.end(), i) ==
+            prod.users.end())
+          throw IRError(
+              strCat("node ", o, ": missing user entry for node ", i));
+      }
+    } else {
+      if (!n.operands.empty())
+        throw IRError(strCat("leaf node ", i, " has operands"));
+    }
+    for (NodeId u : n.users) {
+      if (u <= i || u >= endId())
+        throw IRError(strCat("node ", i, ": invalid user id ", u));
+      const Node& user = nodes_[static_cast<size_t>(u)];
+      if (!user.isOp() ||
+          std::find(user.operands.begin(), user.operands.end(), i) ==
+              user.operands.end())
+        throw IRError(
+            strCat("node ", i, ": stale user entry for node ", u));
+    }
+  }
+  for (NodeId out : outputs_)
+    if (out < 0 || out >= endId())
+      throw IRError(strCat("invalid output id ", out));
+}
+
+}  // namespace sherlock::ir

@@ -1,0 +1,97 @@
+// Data-flow graph (DAG) intermediate representation.
+//
+// Following the paper, the DAG has operand/intermediate values and
+// operations. We use a unified node representation: every node *is* a
+// value — Input and Const nodes are leaf operands, and each Op node
+// represents one operation together with the intermediate value it
+// produces. Operation nodes are unit-weighted for priority (b-level)
+// computation; operand nodes and edges have zero weight.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ops.h"
+#include "support/diagnostics.h"
+
+namespace sherlock::ir {
+
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// One DAG node. Plain data; owned and indexed by Graph.
+struct Node {
+  enum class Kind { Input, Const, Op };
+
+  Kind kind = Kind::Input;
+  OpKind op = OpKind::And;          ///< valid iff kind == Op
+  std::vector<NodeId> operands;     ///< producers, in operand order
+  std::vector<NodeId> users;        ///< consumer op nodes (deduplicated)
+  std::string name;                 ///< input name / debug label
+  bool constValue = false;          ///< valid iff kind == Const
+
+  bool isOp() const { return kind == Kind::Op; }
+  bool isInput() const { return kind == Kind::Input; }
+  bool isConst() const { return kind == Kind::Const; }
+};
+
+/// A directed acyclic data-flow graph of bulk-bitwise operations.
+///
+/// Nodes are created append-only; operands must already exist when an op
+/// node is added, which guarantees acyclicity by construction and makes
+/// node ids a valid topological order.
+class Graph {
+ public:
+  /// Adds a named external input operand.
+  NodeId addInput(std::string name);
+
+  /// Adds a constant operand (all-zeros or all-ones bulk value).
+  NodeId addConst(bool value);
+
+  /// Adds an operation node. Operand ids must be < the new node's id.
+  /// Unary ops require exactly one operand; others at least two.
+  NodeId addOp(OpKind op, std::vector<NodeId> operands,
+               std::string name = "");
+
+  /// Appends a node to the ordered output list (kept live by transforms).
+  /// The list preserves position and multiplicity.
+  void markOutput(NodeId id);
+
+  const Node& node(NodeId id) const {
+    SHERLOCK_ASSERT(id >= 0 && static_cast<size_t>(id) < nodes_.size(),
+                    "node id ", id, " out of range");
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+  size_t numNodes() const { return nodes_.size(); }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  /// Number of operation nodes.
+  size_t opCount() const;
+  /// Number of Input nodes.
+  size_t inputCount() const;
+  /// Total operand + intermediate values = all nodes (each node is a value).
+  size_t valueCount() const { return nodes_.size(); }
+
+  /// All node ids of Op kind, in id (topological) order.
+  std::vector<NodeId> opNodes() const;
+  /// All node ids of Input kind, in id order.
+  std::vector<NodeId> inputNodes() const;
+
+  /// Verifies structural invariants (operand ordering, arity, user lists,
+  /// output validity). Throws IRError on violation.
+  void validate() const;
+
+  /// Ids are assigned contiguously, so iteration is by index.
+  NodeId firstId() const { return 0; }
+  NodeId endId() const { return static_cast<NodeId>(nodes_.size()); }
+
+ private:
+  NodeId append(Node node);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> outputs_;
+};
+
+}  // namespace sherlock::ir

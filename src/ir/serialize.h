@@ -1,0 +1,26 @@
+// Plain-text DAG serialization, for persisting compiled kernels and
+// exchanging DAGs with external tooling. Line-oriented format:
+//
+//   # sherlock-dag v1
+//   input <name>
+//   const <0|1>
+//   op <MNEMONIC> <id> <id> ...
+//   output <id>
+//
+// Node ids are implicit line-declaration indices (0-based); `output`
+// lines may appear anywhere after the referenced node and repeat.
+#pragma once
+
+#include <string>
+
+#include "ir/graph.h"
+
+namespace sherlock::ir {
+
+/// Serializes the graph (inverse of graphFromText).
+std::string graphToText(const Graph& g);
+
+/// Parses the serialized form; throws Error on malformed input.
+Graph graphFromText(const std::string& text);
+
+}  // namespace sherlock::ir

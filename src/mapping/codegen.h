@@ -1,0 +1,63 @@
+// Code generation (paper Sec. 3.2.1 / 3.3.2): turns a DAG plus a placement
+// plan into the CIM instruction stream.
+//
+// Scheduling walks the op nodes wave by wave in descending b-level order
+// (nodes of equal b-level are provably independent), which interleaves
+// independent chains — this is what lets the posted-write timing model hide
+// programming latency — and emits, per op:
+//
+//   1. movement: operands not present in the op's execution column are
+//      fetched (plain read -> shift -> write, or an inter-array move),
+//   2. the scouting CIM read (multi-row activation over the operand rows,
+//      optionally chaining the column's latched row-buffer bit), and
+//   3. lazy materialization: results stay in the row buffer and are only
+//      written to a cell when the buffer slot is about to be reused (or
+//      the value is needed elsewhere / is a graph output).
+//
+// Cross-cluster instruction merging (Sec. 3.3.3) is performed inline:
+// an emitted instruction is folded into its immediate predecessor whenever
+// the two are a same-array read pair with identical activated rows (or a
+// same-row write pair) on disjoint columns — exactly the legality the
+// paper's dependency check enforces, restricted to adjacent instructions,
+// where it is trivially safe.
+#pragma once
+
+#include "ir/graph.h"
+#include "isa/target.h"
+#include "mapping/placement.h"
+#include "mapping/program.h"
+
+namespace sherlock::mapping {
+
+struct CodegenOptions {
+  /// Fold compatible adjacent instructions (the optimized flow's merging;
+  /// disabled for the naive baseline and the A2 ablation).
+  bool mergeInstructions = true;
+
+  /// Write every operation result to its cell immediately (paper
+  /// Algorithm 1's straightforward per-node instruction generation). The
+  /// optimized flow instead keeps results in the row buffer and writes
+  /// lazily — a large share of its read/write reduction. Eager mode also
+  /// disables row-buffer operand chaining.
+  bool eagerWriteback = false;
+
+  /// Keep movement-created operand copies for later consumers in the same
+  /// column. Algorithm 1's layout only records each value's home, so the
+  /// naive baseline re-fetches an out-of-column operand on every use —
+  /// the paper's "significant data duplication and/or movement".
+  bool reuseMovedCopies = true;
+
+  /// Wave ordering of the scheduler: BLevel (default, Kwok & Ahmad
+  /// priorities — deepest remaining work first) or TLevel (ASAP depth).
+  /// Both orders respect dependencies; the ablation bench compares them.
+  enum class WaveOrder { BLevel, TLevel };
+  WaveOrder waveOrder = WaveOrder::BLevel;
+};
+
+/// Generates the instruction stream for `g` mapped per `plan` onto
+/// `target`. Throws MappingError if the program cannot be laid out.
+Program generateCode(const ir::Graph& g, const isa::TargetSpec& target,
+                     const PlacementPlan& plan,
+                     const CodegenOptions& options = {});
+
+}  // namespace sherlock::mapping

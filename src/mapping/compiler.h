@@ -1,0 +1,64 @@
+// One-call compilation facade: DAG + target -> CIM program, selecting the
+// mapping strategy. This is the entry point examples and benches use; the
+// individual stages (mapNaive / mapOptimized / generateCode) remain public
+// for finer control.
+#pragma once
+
+#include <optional>
+
+#include "ir/graph.h"
+#include "isa/target.h"
+#include "mapping/codegen.h"
+#include "mapping/naive_mapper.h"
+#include "mapping/opt_mapper.h"
+#include "mapping/program.h"
+
+namespace sherlock::mapping {
+
+enum class Strategy { Naive, Optimized };
+
+struct CompileOptions {
+  Strategy strategy = Strategy::Optimized;
+  /// Cross-cluster instruction merging. Defaults to the paper's pairing:
+  /// enabled for the optimized mapper, disabled for the naive baseline.
+  /// Set explicitly to override (ablation A2).
+  std::optional<bool> mergeInstructions;
+  /// Eager per-op result write-back (Algorithm 1's straightforward
+  /// codegen). Defaults to the paper's pairing: naive eager, optimized
+  /// lazy. Set explicitly to override (ablation).
+  std::optional<bool> eagerWriteback;
+  /// Scheduler wave ordering (ablation; default b-level).
+  CodegenOptions::WaveOrder waveOrder = CodegenOptions::WaveOrder::BLevel;
+  /// Eq. 1 clustering constants (optimized strategy only).
+  OptMapperOptions optimizer;
+};
+
+struct CompileResult {
+  Program program;
+  PlacementPlan plan;
+  /// Clustering details (optimized strategy only).
+  ClusteringResult clustering;
+};
+
+inline CompileResult compile(const ir::Graph& g,
+                             const isa::TargetSpec& target,
+                             const CompileOptions& options = {}) {
+  CompileResult result;
+  bool optimized = options.strategy == Strategy::Optimized;
+  if (optimized) {
+    OptMapping m = mapOptimized(g, target, options.optimizer);
+    result.plan = std::move(m.plan);
+    result.clustering = std::move(m.clustering);
+  } else {
+    result.plan = mapNaive(g, target);
+  }
+  CodegenOptions cg;
+  cg.mergeInstructions = options.mergeInstructions.value_or(optimized);
+  cg.eagerWriteback = options.eagerWriteback.value_or(!optimized);
+  cg.reuseMovedCopies = optimized;
+  cg.waveOrder = options.waveOrder;
+  result.program = generateCode(g, target, result.plan, cg);
+  return result;
+}
+
+}  // namespace sherlock::mapping

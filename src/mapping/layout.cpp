@@ -1,0 +1,126 @@
+#include "mapping/layout.h"
+
+#include <algorithm>
+
+namespace sherlock::mapping {
+
+Layout::Layout(const isa::TargetSpec& target)
+    : rows_(target.rows()),
+      cols_(target.cols()),
+      numArrays_(target.numArrays) {
+  checkArg(rows_ > 0 && cols_ > 0 && numArrays_ > 0,
+           "target must have positive dimensions");
+  freeRows_.resize(static_cast<size_t>(cols_) * numArrays_);
+  residents_.resize(static_cast<size_t>(cols_) * numArrays_);
+  for (auto& freeList : freeRows_) {
+    freeList.resize(static_cast<size_t>(rows_));
+    // Descending so pop_back hands out the lowest row first.
+    for (int r = 0; r < rows_; ++r)
+      freeList[static_cast<size_t>(r)] = rows_ - 1 - r;
+  }
+}
+
+int Layout::columnIndex(ColumnRef where) const {
+  checkArg(where.arrayId >= 0 && where.arrayId < numArrays_,
+           strCat("array ", where.arrayId, " out of range"));
+  checkArg(where.col >= 0 && where.col < cols_,
+           strCat("column ", where.col, " out of range"));
+  return where.arrayId * cols_ + where.col;
+}
+
+CellAddress Layout::allocate(ir::NodeId value, ColumnRef where) {
+  auto& freeList = freeRows_[static_cast<size_t>(columnIndex(where))];
+  if (freeList.empty())
+    throw MappingError(strCat("column ", where.col, " of array ",
+                              where.arrayId,
+                              " is full (value ", value, ")"));
+  int row = freeList.back();
+  freeList.pop_back();
+  CellAddress cell{where.arrayId, where.col, row};
+  placements_[value].push_back(cell);
+  residents_[static_cast<size_t>(columnIndex(where))].insert(value);
+  ++liveCells_;
+  peakLiveCells_ = std::max(peakLiveCells_, liveCells_);
+  return cell;
+}
+
+int Layout::freeCells(ColumnRef where) const {
+  return static_cast<int>(
+      freeRows_[static_cast<size_t>(columnIndex(where))].size());
+}
+
+bool Layout::isPlaced(ir::NodeId value) const {
+  auto it = placements_.find(value);
+  return it != placements_.end() && !it->second.empty();
+}
+
+std::optional<CellAddress> Layout::placementIn(ir::NodeId value,
+                                               ColumnRef where) const {
+  auto it = placements_.find(value);
+  if (it == placements_.end()) return std::nullopt;
+  for (const CellAddress& cell : it->second)
+    if (cell.arrayId == where.arrayId && cell.col == where.col) return cell;
+  return std::nullopt;
+}
+
+std::optional<CellAddress> Layout::anyPlacement(ir::NodeId value) const {
+  auto it = placements_.find(value);
+  if (it == placements_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+std::vector<CellAddress> Layout::placements(ir::NodeId value) const {
+  auto it = placements_.find(value);
+  return it == placements_.end() ? std::vector<CellAddress>{} : it->second;
+}
+
+void Layout::freeCell(const CellAddress& cell) {
+  auto& freeList =
+      freeRows_[static_cast<size_t>(columnIndex({cell.arrayId, cell.col}))];
+  // Keep descending order so the lowest row is reused first.
+  auto pos = std::lower_bound(freeList.begin(), freeList.end(), cell.row,
+                              std::greater<int>{});
+  freeList.insert(pos, cell.row);
+  --liveCells_;
+}
+
+void Layout::release(ir::NodeId value) {
+  auto it = placements_.find(value);
+  if (it == placements_.end()) return;
+  for (const CellAddress& cell : it->second) {
+    freeCell(cell);
+    residents_[static_cast<size_t>(columnIndex({cell.arrayId, cell.col}))]
+        .erase(value);
+  }
+  placements_.erase(it);
+}
+
+void Layout::releaseCellIn(ir::NodeId value, ColumnRef where) {
+  auto it = placements_.find(value);
+  checkArg(it != placements_.end(),
+           strCat("value ", value, " has no placements"));
+  auto& cells = it->second;
+  auto pos = std::find_if(cells.begin(), cells.end(),
+                          [&](const CellAddress& c) {
+                            return c.arrayId == where.arrayId &&
+                                   c.col == where.col;
+                          });
+  checkArg(pos != cells.end(),
+           strCat("value ", value, " not placed in the given column"));
+  freeCell(*pos);
+  cells.erase(pos);
+  residents_[static_cast<size_t>(columnIndex(where))].erase(value);
+  if (cells.empty()) placements_.erase(it);
+}
+
+std::vector<ir::NodeId> Layout::valuesIn(ColumnRef where) const {
+  const auto& set = residents_[static_cast<size_t>(columnIndex(where))];
+  return {set.begin(), set.end()};
+}
+
+int Layout::placementCount(ir::NodeId value) const {
+  auto it = placements_.find(value);
+  return it == placements_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+}  // namespace sherlock::mapping

@@ -1,0 +1,105 @@
+// Memory layout: the assignment of DAG values (operands and intermediate
+// results) to cells of the CIM arrays. Tracks per-column occupancy,
+// supports value replication (the same value materialized in several
+// columns) and liveness-based cell recycling (a dead value's cells return
+// to the free pool so long programs fit small arrays).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ir/graph.h"
+#include "isa/target.h"
+
+namespace sherlock::mapping {
+
+/// Physical location of one value bit-slice.
+struct CellAddress {
+  int arrayId = 0;
+  int col = 0;
+  int row = 0;
+
+  bool operator==(const CellAddress&) const = default;
+  auto operator<=>(const CellAddress&) const = default;
+};
+
+/// Column coordinate (array + column) without a row.
+struct ColumnRef {
+  int arrayId = 0;
+  int col = 0;
+
+  bool operator==(const ColumnRef&) const = default;
+  auto operator<=>(const ColumnRef&) const = default;
+};
+
+class Layout {
+ public:
+  explicit Layout(const isa::TargetSpec& target);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int numArrays() const { return numArrays_; }
+
+  /// Allocates a free cell in the given column for `value` and records the
+  /// placement. Throws MappingError when the column is full.
+  CellAddress allocate(ir::NodeId value, ColumnRef where);
+
+  /// Free cells remaining in a column.
+  int freeCells(ColumnRef where) const;
+
+  /// True if `value` is materialized anywhere.
+  bool isPlaced(ir::NodeId value) const;
+
+  /// Placement of `value` in a specific column, if any.
+  std::optional<CellAddress> placementIn(ir::NodeId value,
+                                         ColumnRef where) const;
+
+  /// Any placement of `value` (the first recorded one), if any.
+  std::optional<CellAddress> anyPlacement(ir::NodeId value) const;
+
+  /// All placements of `value`.
+  std::vector<CellAddress> placements(ir::NodeId value) const;
+
+  /// Releases every cell held by `value` (the value died).
+  void release(ir::NodeId value);
+
+  /// Releases only the replica of `value` in the given column (the value
+  /// must be placed there). Used by the code generator to evict redundant
+  /// copies from a full column.
+  void releaseCellIn(ir::NodeId value, ColumnRef where);
+
+  /// Values currently holding at least one cell in the given column.
+  std::vector<ir::NodeId> valuesIn(ColumnRef where) const;
+
+  /// Number of cells `value` currently holds.
+  int placementCount(ir::NodeId value) const;
+
+  /// Total cells currently in use.
+  int liveCells() const { return liveCells_; }
+
+  /// Highest count of simultaneously live cells seen so far.
+  int peakLiveCells() const { return peakLiveCells_; }
+
+ private:
+  int columnIndex(ColumnRef where) const;
+
+  int rows_;
+  int cols_;
+  int numArrays_;
+
+  void freeCell(const CellAddress& cell);
+
+  // Per column: free row indices (kept descending so the lowest row is
+  // handed out first).
+  std::vector<std::vector<int>> freeRows_;
+  // value -> its placements.
+  std::map<ir::NodeId, std::vector<CellAddress>> placements_;
+  // column index -> values resident there (eviction support).
+  std::vector<std::set<ir::NodeId>> residents_;
+  int liveCells_ = 0;
+  int peakLiveCells_ = 0;
+};
+
+}  // namespace sherlock::mapping

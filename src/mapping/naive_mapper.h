@@ -1,0 +1,20 @@
+// Naive mapping (paper Algorithm 1): walk the op nodes in b-level priority
+// order and pack their yet-unmapped operands into array columns in
+// column-major order, moving to the next column when one fills up. The
+// operation executes in the column holding its result slot; operands that
+// ended up in earlier columns are fetched by the code generator through
+// read/shift/write movement — the data movement and duplication this
+// baseline is known for.
+#pragma once
+
+#include "ir/graph.h"
+#include "isa/target.h"
+#include "mapping/placement.h"
+
+namespace sherlock::mapping {
+
+/// Produces the Algorithm 1 placement plan. Throws MappingError when the
+/// DAG cannot fit the target's arrays.
+PlacementPlan mapNaive(const ir::Graph& g, const isa::TargetSpec& target);
+
+}  // namespace sherlock::mapping

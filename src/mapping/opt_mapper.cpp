@@ -1,0 +1,67 @@
+#include "mapping/opt_mapper.h"
+
+#include <algorithm>
+
+namespace sherlock::mapping {
+
+OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
+                        const OptMapperOptions& options) {
+  const int m = target.rows();
+  const int capacity =
+      std::max(2, static_cast<int>(m * options.capacityFraction));
+
+  const int totalColumns = target.cols() * target.numArrays;
+  ClusteringOptions copt;
+  copt.columnCapacity = capacity;
+  // k = number of columns the DAG's operands require (Algorithm 2 line 3).
+  copt.targetClusters = static_cast<int>(
+      (g.valueCount() + static_cast<size_t>(capacity) - 1) /
+      static_cast<size_t>(capacity));
+  copt.maxClusters = totalColumns;
+  copt.alpha = options.alpha;
+  copt.beta = options.beta;
+  copt.seed = options.seed;
+  copt.refinePasses = options.refinePasses;
+
+  OptMapping out;
+  out.clustering = findClusters(g, copt);
+  const auto& clusters = out.clustering.clusters;
+
+  PlacementPlan& plan = out.plan;
+  plan.opLocation.resize(g.numNodes());
+  plan.leafColumns.resize(g.numNodes());
+  plan.clusterCount = static_cast<int>(clusters.size());
+  plan.usedColumns = static_cast<int>(clusters.size());
+
+  auto columnOf = [&](int clusterIdx) {
+    return ColumnRef{clusterIdx / target.cols(),
+                     clusterIdx % target.cols()};
+  };
+
+  for (size_t ci = 0; ci < clusters.size(); ++ci) {
+    ColumnRef col = columnOf(static_cast<int>(ci));
+    for (ir::NodeId node : clusters[ci].nodes)
+      plan.opLocation[static_cast<size_t>(node)] = col;
+  }
+
+  // Pre-load each leaf operand into every consuming cluster's column.
+  for (ir::NodeId i = g.firstId(); i < g.endId(); ++i) {
+    const ir::Node& n = g.node(i);
+    if (n.isOp()) continue;
+    std::vector<ColumnRef> cols;
+    for (ir::NodeId user : n.users) {
+      ColumnRef c = plan.opLocation[static_cast<size_t>(user)];
+      if (std::find(cols.begin(), cols.end(), c) == cols.end())
+        cols.push_back(c);
+    }
+    if (cols.empty() && std::find(g.outputs().begin(), g.outputs().end(),
+                                  i) != g.outputs().end())
+      cols.push_back(ColumnRef{0, 0});  // unconsumed output leaf
+    std::sort(cols.begin(), cols.end());
+    plan.leafColumns[static_cast<size_t>(i)] = std::move(cols);
+  }
+
+  return out;
+}
+
+}  // namespace sherlock::mapping

@@ -1,0 +1,31 @@
+// Placement plan: the output of a mapping algorithm (naive or optimized),
+// consumed by the common code generator. It pins every operation node to
+// the column where it will execute (its operands must be brought into that
+// column) and lists, for every leaf operand (input/const), the columns it
+// must be pre-loaded into.
+#pragma once
+
+#include <vector>
+
+#include "ir/graph.h"
+#include "mapping/layout.h"
+
+namespace sherlock::mapping {
+
+struct PlacementPlan {
+  /// Execution column of each op node, indexed by NodeId. Entries for
+  /// non-op nodes are unused.
+  std::vector<ColumnRef> opLocation;
+
+  /// For each leaf (Input/Const) node id: columns the value is pre-loaded
+  /// into. Entries for non-leaf nodes are empty.
+  std::vector<std::vector<ColumnRef>> leafColumns;
+
+  /// Number of distinct columns used across all arrays.
+  int usedColumns = 0;
+
+  /// Number of clusters the optimizing mapper formed (0 for naive).
+  int clusterCount = 0;
+};
+
+}  // namespace sherlock::mapping

@@ -1,0 +1,49 @@
+// A compiled CIM program: the instruction stream plus the metadata the
+// simulator needs (which writes carry host data for which input values,
+// and where the graph outputs live when the program finishes).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/graph.h"
+#include "isa/instruction.h"
+#include "mapping/layout.h"
+
+namespace sherlock::mapping {
+
+/// Code generation statistics, used by the evaluation harnesses.
+struct CodegenStats {
+  long hostWrites = 0;       ///< input/const pre-load writes
+  long cimReads = 0;         ///< scouting-logic operations
+  long plainReads = 0;       ///< movement loads
+  long spillWrites = 0;      ///< intermediate materializations
+  long shifts = 0;           ///< row-buffer rotations (movement)
+  long moves = 0;            ///< inter-array bus transfers
+  long mergedInstructions = 0;  ///< instructions saved by merging
+  long chainedOperands = 0;  ///< operands consumed from the row buffer
+
+  long totalInstructions() const {
+    return hostWrites + cimReads + plainReads + spillWrites + shifts + moves;
+  }
+};
+
+struct Program {
+  std::vector<isa::Instruction> instructions;
+
+  /// For host-data writes: instruction index -> the leaf value (NodeId)
+  /// behind each written column, parallel to that instruction's `columns`.
+  std::map<size_t, std::vector<ir::NodeId>> hostWriteValues;
+
+  /// Where each graph output is materialized when the program ends.
+  std::map<ir::NodeId, CellAddress> outputCells;
+
+  CodegenStats stats;
+
+  /// Columns actually touched (occupancy metric).
+  int usedColumns = 0;
+  /// Peak simultaneously live cells (capacity metric).
+  int peakLiveCells = 0;
+};
+
+}  // namespace sherlock::mapping

@@ -1,0 +1,342 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "device/reliability.h"
+#include "ir/evaluator.h"
+#include "support/diagnostics.h"
+#include "support/rng.h"
+
+namespace sherlock::sim {
+
+using ir::NodeId;
+using isa::InstKind;
+using isa::Instruction;
+
+namespace {
+
+constexpr double kBufferOpLatencyNs = 0.5;   // rowless row-buffer logic
+constexpr double kBusLatencyNs = 10.0;       // inter-array transfer
+constexpr double kBusEnergyPerBitPj = 0.5;
+
+/// Functional state of one array: cells + row buffer, one 64-bit word per
+/// bit position (64 bulk slices simulated at once).
+struct ArrayState {
+  ArrayState(int rows, int cols)
+      : rows_(rows),
+        cols_(cols),
+        cells(static_cast<size_t>(rows) * cols, 0),
+        cellWritten(static_cast<size_t>(rows) * cols, false),
+        buffer(static_cast<size_t>(cols), 0),
+        bufferValid(static_cast<size_t>(cols), false),
+        writeReadyNs(static_cast<size_t>(rows) * cols, 0.0),
+        writeIndex(static_cast<size_t>(rows) * cols, -1) {}
+
+  size_t cellIndex(int row, int col) const {
+    return static_cast<size_t>(row) * cols_ + col;
+  }
+
+  int rows_;
+  int cols_;
+  std::vector<uint64_t> cells;
+  std::vector<bool> cellWritten;
+  std::vector<uint64_t> buffer;
+  std::vector<bool> bufferValid;
+  /// Completion time of the last posted write per cell (the memory
+  /// controller performs read-around-write: a read stalls only on the
+  /// cells it actually senses).
+  std::vector<double> writeReadyNs;
+  /// Instruction index of the last posted write per cell (stall tracing).
+  std::vector<long> writeIndex;
+};
+
+}  // namespace
+
+uint64_t defaultInputWord(const std::string& name, uint64_t seed) {
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) h = (h ^ c) * 0x100000001b3ULL;
+  Rng rng(h);
+  return rng();
+}
+
+SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
+                   const mapping::Program& program,
+                   const SimOptions& options) {
+  arraymodel::ArrayCostModel cost(target.geometry, target.tech);
+  const int rows = target.rows();
+  const int cols = target.cols();
+
+  // Arrays materialize lazily — programs rarely touch more than a few.
+  std::vector<std::unique_ptr<ArrayState>> arrays(
+      static_cast<size_t>(target.numArrays));
+  auto arrayAt = [&](int a) -> ArrayState& {
+    auto& slot = arrays[static_cast<size_t>(a)];
+    if (!slot) slot = std::make_unique<ArrayState>(rows, cols);
+    return *slot;
+  };
+
+  // Resolve leaf values: named inputs from options (or deterministic
+  // pseudo-random words), constants to all-zeros / all-ones.
+  auto leafWord = [&](NodeId id) -> uint64_t {
+    const ir::Node& n = g.node(id);
+    if (n.isConst()) return n.constValue ? ~uint64_t{0} : 0;
+    checkArg(n.isInput(), strCat("host write of non-leaf node ", id));
+    auto it = options.inputs.find(n.name);
+    if (it != options.inputs.end()) return it->second;
+    return defaultInputWord(n.name, options.inputSeed);
+  };
+
+  SimResult result;
+  device::AppFailureAccumulator failures;
+  std::map<std::pair<device::SenseKind, int>, double> pdfCache;
+  auto pdfOf = [&](device::SenseKind kind, int r) {
+    auto key = std::make_pair(kind, r);
+    auto it = pdfCache.find(key);
+    if (it == pdfCache.end())
+      it = pdfCache
+               .emplace(key,
+                        device::decisionFailureProbability(target.tech, kind,
+                                                           r))
+               .first;
+    return it->second;
+  };
+
+  double now = 0.0;
+  Rng faultRng(options.faultSeed);
+  // Per-lane fault sampling: each of the 64 simulated bulk lanes flips
+  // independently with the op's decision-failure probability.
+  auto sampleFaultMask = [&](double p) -> uint64_t {
+    if (p <= 0.0) return 0;
+    uint64_t mask = 0;
+    for (int lane = 0; lane < 64; ++lane)
+      if (faultRng.uniform() < p) mask |= uint64_t{1} << lane;
+    return mask;
+  };
+
+  for (size_t idx = 0; idx < program.instructions.size(); ++idx) {
+    const Instruction& inst = program.instructions[idx];
+    isa::validateInstruction(inst, target.numArrays, rows, cols);
+    ArrayState& arr = arrayAt(inst.arrayId);
+
+    now += cost.dispatchLatencyNs();
+    result.energyPj += cost.dispatchEnergyPj();
+    result.instructionCount++;
+
+    switch (inst.kind) {
+      case InstKind::Read: {
+        result.readCount++;
+        // Stall until pending writes to the sensed cells complete
+        // (read-around-write for everything else).
+        double ready = now;
+        long blockingWrite = -1;
+        for (int r : inst.rows)
+          for (int col : inst.columns) {
+            size_t ci = arr.cellIndex(r, col);
+            if (arr.writeReadyNs[ci] > ready) {
+              ready = arr.writeReadyNs[ci];
+              blockingWrite = arr.writeIndex[ci];
+            }
+          }
+        if (ready > now && options.traceStalls)
+          result.stallEvents.push_back(
+              {idx, ready - now,
+               static_cast<long>(idx) - blockingWrite});
+        result.stallNs += ready - now;
+        now = ready;
+
+        if (inst.rows.empty()) {
+          now += kBufferOpLatencyNs;
+          result.energyPj +=
+              0.005 * target.geometry.dataWidthBits *
+              static_cast<double>(inst.columns.size());
+        } else {
+          now += cost.readLatencyNs();
+          result.energyPj += cost.readEnergyPj(
+              static_cast<int>(inst.rows.size()),
+              static_cast<int>(inst.columns.size()));
+        }
+
+        // Functional: compute all columns against the pre-read buffer,
+        // then commit.
+        std::vector<uint64_t> newBits(inst.columns.size());
+        for (size_t i = 0; i < inst.columns.size(); ++i) {
+          int c = inst.columns[i];
+          std::vector<uint64_t> operands;
+          operands.reserve(inst.rows.size() + 1);
+          for (int r : inst.rows) {
+            size_t ci = arr.cellIndex(r, c);
+            if (!arr.cellWritten[ci])
+              throw SimulationError(
+                  strCat("instruction ", idx, ": read of unwritten cell (",
+                         inst.arrayId, ",", r, ",", c, ")"));
+            operands.push_back(arr.cells[ci]);
+          }
+          if (inst.colOps.empty()) {
+            // Plain read: load the single cell into the buffer.
+            checkArg(operands.size() == 1, "plain read takes one row");
+            newBits[i] = operands[0];
+          } else {
+            if (inst.chainsBuffer[i]) {
+              if (!arr.bufferValid[static_cast<size_t>(c)])
+                throw SimulationError(
+                    strCat("instruction ", idx,
+                           ": chained read of invalid buffer column ", c));
+              operands.push_back(arr.buffer[static_cast<size_t>(c)]);
+            }
+            newBits[i] = ir::evalOp(inst.colOps[i], operands);
+            // Reliability accounting: r activated rows per column op.
+            int activated = static_cast<int>(inst.rows.size());
+            double pdf = 0.0;
+            if (activated >= 2)
+              pdf = pdfOf(device::senseKindOf(inst.colOps[i]), activated);
+            else if (activated == 1)
+              pdf = pdfOf(device::SenseKind::PlainRead, 1);
+            failures.add(pdf);
+            if (options.injectFaults) {
+              uint64_t flips = sampleFaultMask(pdf);
+              if (flips) {
+                newBits[i] ^= flips;
+                result.injectedFaults +=
+                    static_cast<long>(std::popcount(flips));
+              }
+            }
+            result.cimColumnOps++;
+          }
+        }
+        if (inst.colOps.empty()) {
+          double pdf = pdfOf(device::SenseKind::PlainRead, 1);
+          for (size_t i = 0; i < inst.columns.size(); ++i) {
+            failures.add(pdf);
+            if (options.injectFaults) {
+              uint64_t flips = sampleFaultMask(pdf);
+              if (flips) {
+                newBits[i] ^= flips;
+                result.injectedFaults +=
+                    static_cast<long>(std::popcount(flips));
+              }
+            }
+          }
+        }
+        for (size_t i = 0; i < inst.columns.size(); ++i) {
+          arr.buffer[static_cast<size_t>(inst.columns[i])] = newBits[i];
+          arr.bufferValid[static_cast<size_t>(inst.columns[i])] = true;
+        }
+        break;
+      }
+
+      case InstKind::Write: {
+        result.writeCount++;
+        int row = inst.rows[0];
+        auto hostIt = program.hostWriteValues.find(idx);
+        for (size_t i = 0; i < inst.columns.size(); ++i) {
+          int c = inst.columns[i];
+          uint64_t word;
+          if (hostIt != program.hostWriteValues.end()) {
+            word = leafWord(hostIt->second[i]);
+          } else {
+            if (!arr.bufferValid[static_cast<size_t>(c)])
+              throw SimulationError(
+                  strCat("instruction ", idx,
+                         ": write from invalid buffer column ", c));
+            word = arr.buffer[static_cast<size_t>(c)];
+          }
+          size_t ci = arr.cellIndex(row, c);
+          arr.cells[ci] = word;
+          arr.cellWritten[ci] = true;
+        }
+        // Posted write: issue cost now, programming completes later.
+        for (int col : inst.columns) {
+          size_t ci = arr.cellIndex(row, col);
+          arr.writeReadyNs[ci] = now + cost.writeCompletionNs();
+          arr.writeIndex[ci] = static_cast<long>(idx);
+        }
+        now += cost.writeIssueLatencyNs();
+        result.energyPj +=
+            cost.writeEnergyPj(static_cast<int>(inst.columns.size()));
+        break;
+      }
+
+      case InstKind::Shift: {
+        result.shiftCount++;
+        int d = inst.shiftDistance % cols;
+        if (inst.shiftDirection == isa::ShiftDirection::Right)
+          d = (cols - d) % cols;
+        // Rotate left by d: bit at column c moves to (c + d) % cols.
+        std::vector<uint64_t> nb(arr.buffer.size());
+        std::vector<bool> nv(arr.bufferValid.size());
+        for (int c = 0; c < cols; ++c) {
+          int dst = (c + d) % cols;
+          nb[static_cast<size_t>(dst)] = arr.buffer[static_cast<size_t>(c)];
+          nv[static_cast<size_t>(dst)] =
+              arr.bufferValid[static_cast<size_t>(c)];
+        }
+        arr.buffer = std::move(nb);
+        arr.bufferValid = std::move(nv);
+        now += cost.shiftLatencyNs(inst.shiftDistance);
+        result.energyPj += cost.shiftEnergyPj(inst.shiftDistance);
+        break;
+      }
+
+      case InstKind::Move: {
+        result.moveCount++;
+        ArrayState& dst = arrayAt(inst.moveDstArray);
+        int srcCol = inst.columns[0];
+        if (!arr.bufferValid[static_cast<size_t>(srcCol)])
+          throw SimulationError(strCat("instruction ", idx,
+                                       ": move from invalid buffer column ",
+                                       srcCol));
+        dst.buffer[static_cast<size_t>(inst.moveDstCol)] =
+            arr.buffer[static_cast<size_t>(srcCol)];
+        dst.bufferValid[static_cast<size_t>(inst.moveDstCol)] = true;
+        now += kBusLatencyNs;
+        result.energyPj +=
+            kBusEnergyPerBitPj * target.geometry.dataWidthBits;
+        break;
+      }
+    }
+  }
+
+  result.latencyNs = now;
+  result.pApp = failures.probability();
+
+  if (options.verify) {
+    std::map<std::string, uint64_t> inputWords;
+    for (NodeId i = g.firstId(); i < g.endId(); ++i) {
+      const ir::Node& n = g.node(i);
+      if (n.isInput()) inputWords[n.name] = leafWord(i);
+    }
+    auto reference = ir::evaluateAllWords(g, inputWords);
+    for (NodeId out : g.outputs()) {
+      auto it = program.outputCells.find(out);
+      if (it == program.outputCells.end())
+        throw SimulationError(
+            strCat("output ", out, " has no recorded cell"));
+      const mapping::CellAddress& cell = it->second;
+      const ArrayState& arr2 = arrayAt(cell.arrayId);
+      size_t ci = arr2.cellIndex(cell.row, cell.col);
+      if (!arr2.cellWritten[ci])
+        throw SimulationError(
+            strCat("output ", out, " cell never written"));
+      uint64_t diff = arr2.cells[ci] ^ reference[static_cast<size_t>(out)];
+      if (diff != 0) {
+        if (options.injectFaults) {
+          // Injected decision failures legitimately corrupt lanes; record
+          // them instead of failing verification.
+          result.corruptedOutputLanes |= diff;
+        } else {
+          throw SimulationError(strCat(
+              "output ", out, " mismatch: array holds ", arr2.cells[ci],
+              " but reference is ", reference[static_cast<size_t>(out)]));
+        }
+      }
+    }
+    result.verified = !options.injectFaults;
+  }
+
+  return result;
+}
+
+}  // namespace sherlock::sim

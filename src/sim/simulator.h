@@ -1,0 +1,107 @@
+// CIM system simulator (gem5 stand-in).
+//
+// Runs a compiled Program at two levels simultaneously:
+//
+//  * Functional: bit-accurate execution of every instruction on modeled
+//    cell arrays and row buffers (one 64-bit word per cell simulates 64
+//    bulk slices). Graph outputs are compared against the IR reference
+//    evaluator — any mapper/codegen bug surfaces as a verification
+//    failure. Reads of never-written cells or invalid buffer slots throw.
+//
+//  * Timing/energy/reliability: an in-order 1 GHz core dispatches one
+//    instruction per cycle; reads occupy the array for the sensing
+//    latency; writes are POSTED — they return after issue and complete in
+//    the background, but a later read activating a row with a pending
+//    write stalls until the programming finishes (read-after-write
+//    exposure: this is what makes write-heavy DAGs technology-sensitive
+//    while well-interleaved ones hide the write latency). Energy uses the
+//    array cost model; every scouting column-op accumulates its
+//    decision-failure probability into P_app = 1 - prod(1 - P_DFi).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arraymodel/array_model.h"
+#include "ir/graph.h"
+#include "isa/target.h"
+#include "mapping/program.h"
+
+namespace sherlock::sim {
+
+struct SimOptions {
+  /// Bulk input words by input name (64-bit slice). Missing inputs get
+  /// deterministic pseudo-random words derived from `inputSeed`.
+  std::map<std::string, uint64_t> inputs;
+  uint64_t inputSeed = 0x5eed;
+
+  /// Compare output cells against the reference evaluator.
+  bool verify = true;
+
+  /// Record per-read stall events (instruction index, stall ns, distance
+  /// in instructions from the blocking write) for analysis.
+  bool traceStalls = false;
+
+  /// Monte-Carlo fault injection: every scouting column-op independently
+  /// flips its result bit in each bulk lane with its decision-failure
+  /// probability P_DF. Used to validate the analytic P_app model
+  /// (bench_reliability_mc). Output verification then REPORTS mismatching
+  /// lanes in SimResult::corruptedOutputLanes instead of throwing.
+  bool injectFaults = false;
+  uint64_t faultSeed = 1;
+};
+
+struct StallEvent {
+  size_t instructionIndex = 0;
+  double stallNs = 0;
+  long writeDistance = 0;  ///< instructions since the blocking write
+};
+
+struct SimResult {
+  double latencyNs = 0;
+  double energyPj = 0;
+  /// Portion of latency spent stalled on read-after-write exposure.
+  double stallNs = 0;
+
+  /// Application failure probability (paper Sec. 4.2).
+  double pApp = 0;
+  /// Scouting column-operations executed (the N of the P_app product).
+  long cimColumnOps = 0;
+
+  long instructionCount = 0;
+  long readCount = 0;
+  long writeCount = 0;
+  long shiftCount = 0;
+  long moveCount = 0;
+
+  bool verified = false;
+
+  /// Populated when SimOptions::traceStalls is set.
+  std::vector<StallEvent> stallEvents;
+
+  /// Fault injection only: number of injected bit flips, and the bulk
+  /// lanes (bitmask over the 64 simulated lanes) whose final outputs
+  /// differ from the fault-free reference.
+  long injectedFaults = 0;
+  uint64_t corruptedOutputLanes = 0;
+
+  double latencyUs() const { return latencyNs * 1e-3; }
+  double energyUj() const { return energyPj * 1e-6; }
+  /// Energy-delay product in uJ * us.
+  double edp() const { return energyUj() * latencyUs(); }
+};
+
+/// Executes `program` (compiled from `g`) on the target. Throws
+/// SimulationError on malformed programs; if options.verify is set, a
+/// functional mismatch against the reference evaluator also throws.
+SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
+                   const mapping::Program& program,
+                   const SimOptions& options = {});
+
+/// Deterministic input word for a named input (shared by the simulator and
+/// tests so both sides agree on unspecified inputs).
+uint64_t defaultInputWord(const std::string& name, uint64_t seed);
+
+}  // namespace sherlock::sim

@@ -1,0 +1,91 @@
+// Error reporting and invariant checking for the Sherlock libraries.
+//
+// Conventions:
+//  * `Error` (an exception) reports violations of API contracts and invalid
+//    user input (bad programs, infeasible mappings, malformed instructions).
+//  * `SHERLOCK_ASSERT` guards internal invariants; it throws `InternalError`
+//    so that tests can observe violations without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sherlock {
+
+/// Concatenates all arguments into one string using operator<<.
+template <typename... Args>
+std::string strCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Base class of all exceptions thrown by Sherlock libraries.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Violation of an internal invariant (a bug in Sherlock itself).
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Invalid input program or malformed IR.
+class IRError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Front-end syntax/semantic error. Carries source line/column.
+class ParseError : public Error {
+ public:
+  ParseError(std::string message, int line, int column)
+      : Error(strCat("line ", line, ":", column, ": ", message)),
+        line_(line),
+        column_(column) {}
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Mapping/scheduling failure (e.g. DAG does not fit the target array).
+class MappingError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Simulator-detected inconsistency (bad instruction stream, OOB access).
+class SimulationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws `Error` with `message` unless `condition` holds.
+inline void checkArg(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+namespace detail {
+[[noreturn]] inline void assertFail(const char* expr, const char* file,
+                                    int line, const std::string& message) {
+  throw InternalError(strCat(file, ":", line, ": assertion `", expr,
+                             "` failed", message.empty() ? "" : ": ",
+                             message));
+}
+}  // namespace detail
+
+}  // namespace sherlock
+
+#define SHERLOCK_ASSERT(cond, ...)                                   \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::sherlock::detail::assertFail(#cond, __FILE__, __LINE__,      \
+                                     ::sherlock::strCat(__VA_ARGS__)); \
+  } while (false)

@@ -1,0 +1,28 @@
+// Small statistics helpers used by the benchmark harnesses and the
+// reliability model.
+#pragma once
+
+#include <vector>
+
+namespace sherlock {
+
+/// Arithmetic mean. Returns 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// Geometric mean. All inputs must be positive; returns 0 for empty input.
+double geomean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for n < 2.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Input need not be sorted.
+double quantile(std::vector<double> xs, double q);
+
+/// Standard normal cumulative distribution function.
+double normalCdf(double x);
+
+/// Upper tail of the standard normal distribution, Q(x) = 1 - Phi(x).
+/// Numerically accurate far into the tail (uses erfc).
+double normalTail(double x);
+
+}  // namespace sherlock

@@ -1,0 +1,82 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace sherlock {
+
+void Table::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void Table::addSeparator() { rows_.push_back({kSeparatorTag}); }
+
+std::string Table::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string Table::sci(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits, value);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_)
+    if (r.empty() || r[0] != kSeparatorTag) cols = std::max(cols, r.size());
+
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_)
+    if (r.empty() || r[0] != kSeparatorTag) widen(r);
+
+  auto hline = [&] {
+    os << '+';
+    for (size_t i = 0; i < cols; ++i)
+      os << std::string(width[i] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t i = 0; i < cols; ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      os << ' ' << cell << std::string(width[i] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  hline();
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (const auto& r : rows_) {
+    if (!r.empty() && r[0] == kSeparatorTag)
+      hline();
+    else
+      emit(r);
+  }
+  hline();
+}
+
+std::string Table::toString() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace sherlock

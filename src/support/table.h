@@ -1,0 +1,43 @@
+// ASCII table rendering for the benchmark harnesses. The bench binaries
+// print paper-shaped tables (rows of Table 2, series of Fig. 6/7) so the
+// reproduction can be compared to the paper at a glance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sherlock {
+
+/// Column-aligned ASCII table with an optional title and header row.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row; defines the column count.
+  void setHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are padded with "".
+  void addRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line between rows.
+  void addSeparator();
+
+  /// Formats a double with `digits` significant decimal places.
+  static std::string num(double value, int digits = 2);
+
+  /// Formats a double in scientific notation (for probabilities).
+  static std::string sci(double value, int digits = 2);
+
+  void print(std::ostream& os) const;
+  std::string toString() const;
+
+ private:
+  static constexpr const char* kSeparatorTag = "\x01--";
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sherlock

@@ -1,0 +1,26 @@
+// NAND-based lowering for low-TMR technologies (paper Sec. 4.2): on
+// STT-MRAM the scouting-logic sense margins of OR and especially XOR are
+// too small to be usable, so these ops are re-expressed using AND/NAND/NOT,
+// whose margins remain adequate. ReRAM keeps the native ops.
+//
+// Rewrites applied (all exact, multi-operand aware):
+//   OR(x1..xk)   -> NAND(NOT x1, ..., NOT xk)
+//   NOR(x1..xk)  -> AND(NOT x1, ..., NOT xk)
+//   XOR(a, b)    -> NAND(NAND(a, t), NAND(b, t)) with t = NAND(a, b)
+//   XNOR(a, b)   -> AND(NAND(a, t), NAND(b, t))  with t = NAND(a, b)
+//   multi-operand XOR/XNOR are decomposed into a balanced binary tree
+//   first, then each 2-input XOR is lowered.
+#pragma once
+
+#include "ir/graph.h"
+
+namespace sherlock::transforms {
+
+/// Returns a graph computing the same outputs using only And, Nand, Not and
+/// Copy operations.
+ir::Graph lowerToNand(const ir::Graph& g);
+
+/// True if the graph contains only And/Nand/Not/Copy ops.
+bool isNandOnly(const ir::Graph& g);
+
+}  // namespace sherlock::transforms

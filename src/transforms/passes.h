@@ -1,0 +1,39 @@
+// Standard cleanup passes over the DAG IR: dead-node elimination, common
+// subexpression elimination, and constant folding. All passes are
+// functional (input graph is untouched) and preserve the bulk-bitwise
+// semantics of the marked outputs.
+#pragma once
+
+#include "ir/graph.h"
+
+namespace sherlock::transforms {
+
+/// Removes every node that no marked output transitively depends on.
+/// Inputs are always kept (they define the external interface).
+ir::Graph eliminateDeadNodes(const ir::Graph& g);
+
+/// Merges structurally identical op nodes (same kind and operand multiset
+/// for commutative ops; same operand sequence otherwise).
+ir::Graph eliminateCommonSubexpressions(const ir::Graph& g);
+
+/// Folds operations whose operands are all constants, and simplifies
+/// identities with all-zeros / all-ones constants (x & 0 = 0, x | 0 = x,
+/// x ^ 0 = x, x & 1 = x, x | 1 = 1, x ^ 1 = ~x, ...).
+ir::Graph foldConstants(const ir::Graph& g);
+
+/// Convenience pipeline: fold, CSE, then DCE.
+ir::Graph canonicalize(const ir::Graph& g);
+
+/// Inverter folding: absorbs NOT nodes into the native inverted scouting
+/// ops and applies De Morgan rewrites, shrinking the instruction count on
+/// NOT-heavy front-end output. Rules (all exact):
+///   NOT(x) where x is a single-use logic op  ->  the inverted-kind op
+///   AND/OR/NAND/NOR whose operands are all NOTs  ->  De Morgan dual
+///   XOR/XNOR strip NOT operands pairwise (parity absorbed in the kind)
+ir::Graph foldInverters(const ir::Graph& g);
+
+/// The full optimization pipeline: canonicalize, fold inverters, and
+/// canonicalize again (inverter folding exposes new CSE opportunities).
+ir::Graph optimize(const ir::Graph& g);
+
+}  // namespace sherlock::transforms

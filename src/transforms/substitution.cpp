@@ -1,0 +1,222 @@
+#include "transforms/substitution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "ir/analysis.h"
+#include "transforms/rewriter.h"
+
+namespace sherlock::transforms {
+
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpKind;
+
+namespace {
+
+/// Base associative operation of an op kind (And for Nand, etc.).
+OpKind baseOf(OpKind op) {
+  switch (op) {
+    case OpKind::Nand: return OpKind::And;
+    case OpKind::Nor: return OpKind::Or;
+    case OpKind::Xnor: return OpKind::Xor;
+    default: return op;
+  }
+}
+
+bool isInverted(OpKind op) {
+  return op == OpKind::Nand || op == OpKind::Nor || op == OpKind::Xnor;
+}
+
+/// Disjoint-set over op nodes tracking the effective operand count of each
+/// merged component. The representative is always the absorbing (consumer)
+/// side, i.e. the node that survives in the rewritten graph.
+class MergeForest {
+ public:
+  explicit MergeForest(const Graph& g)
+      : parent_(g.numNodes()), size_(g.numNodes(), 0) {
+    for (NodeId i = g.firstId(); i < g.endId(); ++i) {
+      parent_[static_cast<size_t>(i)] = i;
+      const Node& n = g.node(i);
+      if (n.isOp()) size_[static_cast<size_t>(i)] =
+          static_cast<int>(n.operands.size());
+    }
+  }
+
+  NodeId find(NodeId x) const {
+    while (parent_[static_cast<size_t>(x)] != x)
+      x = parent_[static_cast<size_t>(x)];
+    return x;
+  }
+
+  int effectiveSize(NodeId x) const { return size_[static_cast<size_t>(find(x))]; }
+
+  /// Absorbs producer `p` (a component root) into consumer `c`'s component.
+  void absorb(NodeId p, NodeId c) {
+    NodeId rootC = find(c);
+    NodeId rootP = find(p);
+    SHERLOCK_ASSERT(rootP == p, "producer must be its component root");
+    SHERLOCK_ASSERT(rootC != rootP, "merge would form a cycle");
+    parent_[static_cast<size_t>(rootP)] = rootC;
+    // The edge p->c is replaced by p's operands.
+    size_[static_cast<size_t>(rootC)] +=
+        size_[static_cast<size_t>(rootP)] - 1;
+  }
+
+  bool isAbsorbed(NodeId x) const {
+    return parent_[static_cast<size_t>(x)] != x;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<int> size_;
+};
+
+/// Number of times `operand` appears in `node`'s operand list.
+int occurrenceCount(const Node& node, NodeId operand) {
+  return static_cast<int>(
+      std::count(node.operands.begin(), node.operands.end(), operand));
+}
+
+struct Candidate {
+  NodeId producer;  ///< the node to be absorbed
+  NodeId consumer;  ///< its unique user
+};
+
+}  // namespace
+
+SubstitutionResult substituteNodes(const Graph& g,
+                                   const SubstitutionOptions& options) {
+  checkArg(options.maxOperands >= 2, "maxOperands must be >= 2");
+  checkArg(options.fraction >= 0.0 && options.fraction <= 1.0,
+           "fraction must be in [0, 1]");
+
+  auto levels = ir::bLevels(g);
+  std::vector<bool> isOutput(g.numNodes(), false);
+  for (NodeId out : g.outputs()) isOutput[static_cast<size_t>(out)] = true;
+
+  // Enumerate merge opportunities: single-use associative producers feeding
+  // a same-base consumer.
+  std::vector<Candidate> candidates;
+  for (NodeId p = g.firstId(); p < g.endId(); ++p) {
+    const Node& prod = g.node(p);
+    if (!prod.isOp() || !ir::isSubstitutable(prod.op)) continue;
+    if (isOutput[static_cast<size_t>(p)]) continue;
+    if (prod.users.size() != 1) continue;
+    NodeId c = prod.users[0];
+    const Node& cons = g.node(c);
+    if (baseOf(cons.op) != prod.op) continue;
+    if (occurrenceCount(cons, p) != 1) continue;
+    candidates.push_back({p, c});
+  }
+
+  // Deterministic application order (the Fig. 6 flow knob).
+  std::stable_sort(
+      candidates.begin(), candidates.end(),
+      [&](const Candidate& a, const Candidate& b) {
+        auto keyOf = [&](const Candidate& x) {
+          int lp = levels[static_cast<size_t>(x.producer)];
+          int lc = levels[static_cast<size_t>(x.consumer)];
+          return options.order == MergeOrder::ByPriority ? lp : lp - lc;
+        };
+        int ka = keyOf(a), kb = keyOf(b);
+        if (ka != kb) return ka > kb;
+        return a.producer < b.producer;
+      });
+
+  size_t allowed = static_cast<size_t>(
+      std::llround(options.fraction * static_cast<double>(candidates.size())));
+
+  MergeForest forest(g);
+  SubstitutionStats stats;
+  stats.candidates = candidates.size();
+  for (const Candidate& cand : candidates) {
+    if (stats.applied >= allowed) break;
+    int merged = forest.effectiveSize(cand.consumer) +
+                 forest.effectiveSize(cand.producer) - 1;
+    if (merged > options.maxOperands) continue;
+    forest.absorb(cand.producer, cand.consumer);
+    stats.applied++;
+  }
+
+  // Rebuild: every surviving op node splices in the operand lists of the
+  // producers absorbed into its component.
+  Rewriter rw(g);
+  Graph& dest = rw.dest();
+  NodeId constId[2] = {ir::kInvalidNode, ir::kInvalidNode};
+  auto getConst = [&](bool v) {
+    if (constId[v] == ir::kInvalidNode) constId[v] = dest.addConst(v);
+    return constId[v];
+  };
+
+  for (NodeId i = g.firstId(); i < g.endId(); ++i) {
+    const Node& n = g.node(i);
+    if (!n.isOp()) {
+      rw.cloneNode(i);
+      continue;
+    }
+    if (forest.isAbsorbed(i)) continue;  // spliced into its consumer
+    if (ir::isUnary(n.op)) {
+      // Unary ops never participate in merging; copy verbatim.
+      rw.cloneNode(i);
+      continue;
+    }
+
+    // Flatten the component rooted at i in source-operand order.
+    std::vector<NodeId> flat;
+    std::vector<NodeId> stack(n.operands.rbegin(), n.operands.rend());
+    while (!stack.empty()) {
+      NodeId o = stack.back();
+      stack.pop_back();
+      if (g.node(o).isOp() && forest.isAbsorbed(o) &&
+          forest.find(o) == i) {
+        const auto& inner = g.node(o).operands;
+        stack.insert(stack.end(), inner.rbegin(), inner.rend());
+      } else {
+        flat.push_back(rw.lookup(o));
+      }
+    }
+
+    OpKind base = baseOf(n.op);
+    bool inverted = isInverted(n.op);
+    // Duplicate handling keeps the semantics exact: And/Or are idempotent,
+    // Xor cancels pairs.
+    std::map<NodeId, int> mult;
+    std::vector<NodeId> unique;
+    for (NodeId o : flat)
+      if (mult[o]++ == 0) unique.push_back(o);
+    std::vector<NodeId> finalOps;
+    for (NodeId o : unique) {
+      int m = mult[o];
+      bool keep = (base == OpKind::Xor) ? (m % 2 == 1) : true;
+      if (keep) finalOps.push_back(o);
+    }
+
+    NodeId result;
+    if (finalOps.empty()) {
+      // Only possible for Xor with full cancellation.
+      result = getConst(inverted);
+    } else if (finalOps.size() == 1) {
+      result = inverted ? dest.addOp(OpKind::Not, {finalOps[0]})
+                        : finalOps[0];
+    } else {
+      result = dest.addOp(n.op, std::move(finalOps), n.name);
+    }
+    rw.mapTo(i, result);
+  }
+  rw.carryOutputs();
+
+  SubstitutionResult res{std::move(rw).take(), stats};
+  for (NodeId i = res.graph.firstId(); i < res.graph.endId(); ++i) {
+    const Node& n = res.graph.node(i);
+    if (!n.isOp()) continue;
+    res.stats.totalOps++;
+    if (n.operands.size() > 2) res.stats.wideOps++;
+  }
+  return res;
+}
+
+}  // namespace sherlock::transforms

@@ -1,0 +1,52 @@
+// BitWeaving-V column-scan kernel (paper Sec. 3.1 running example and
+// Sec. 4 "Database" benchmark): evaluates the predicate
+// `value BETWEEN c1 AND c2` over a vertically bit-sliced column. Each
+// slice v.i carries bit i of every value in the processed segment; the
+// predicate constants are delivered bit-sliced as well (the paper's
+// cut1[]/cut2[] arrays), so the kernel is pure bulk-bitwise logic.
+#pragma once
+
+#include "ir/graph.h"
+
+namespace sherlock::workloads {
+
+struct BitweavingSpec {
+  /// Bits per column value (the loop trip count of Fig. 3a).
+  int bits = 16;
+  /// Independent column segments scanned by one kernel instance. A real
+  /// scan covers the whole column: segment s contributes its own value
+  /// slices while the predicate constants c1/c2 are shared across all
+  /// segments (the data-reuse/duplication tension the mappers face).
+  int segments = 1;
+};
+
+/// Builds the BETWEEN kernel DAG. Inputs: "v<s>.i" per segment s plus the
+/// shared "c1.i", "c2.i" for i in [0, bits); segment 0 uses plain "v.i".
+/// Outputs: one slice per segment, 1 where c1 <= v <= c2.
+ir::Graph buildBitweaving(const BitweavingSpec& spec = {});
+
+/// Reference predicate on plain integers (for tests).
+bool bitweavingReference(uint64_t v, uint64_t c1, uint64_t c2, int bits);
+
+/// Column-scan comparison predicates beyond BETWEEN (all bit-serial,
+/// BitWeaving-V style).
+enum class Predicate { Lt, Le, Gt, Ge, Eq, Ne, Between };
+
+std::string predicateName(Predicate p);
+
+struct PredicateScanSpec {
+  Predicate predicate = Predicate::Lt;
+  int bits = 16;
+  int segments = 1;
+};
+
+/// Builds a single-constant predicate scan `v <op> c1` (BETWEEN also uses
+/// "c2.*"). Inputs follow buildBitweaving's naming; one output slice per
+/// segment.
+ir::Graph buildPredicateScan(const PredicateScanSpec& spec);
+
+/// Reference for buildPredicateScan on plain integers.
+bool predicateReference(Predicate p, uint64_t v, uint64_t c1, uint64_t c2,
+                        int bits);
+
+}  // namespace sherlock::workloads

@@ -1,0 +1,70 @@
+#include "workloads/random_dag.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/rng.h"
+
+namespace sherlock::workloads {
+
+using ir::NodeId;
+using ir::OpKind;
+
+ir::Graph buildRandomDag(const RandomDagSpec& spec) {
+  checkArg(spec.inputs >= 1, "need at least one input");
+  checkArg(spec.ops >= 1, "need at least one op");
+  checkArg(spec.maxArity >= 2, "maxArity must be >= 2");
+  checkArg(spec.locality > 0.0 && spec.locality <= 1.0,
+           "locality must be in (0, 1]");
+
+  Rng rng(spec.seed);
+  ir::Graph g;
+  std::vector<NodeId> pool;
+  for (int i = 0; i < spec.inputs; ++i)
+    pool.push_back(g.addInput(strCat("in", i)));
+
+  std::vector<OpKind> mix{OpKind::And, OpKind::Or, OpKind::Nand,
+                          OpKind::Nor};
+  if (spec.useXor) {
+    mix.push_back(OpKind::Xor);
+    mix.push_back(OpKind::Xnor);
+  }
+
+  auto pick = [&]() {
+    size_t window = std::max<size_t>(
+        2, static_cast<size_t>(spec.locality *
+                               static_cast<double>(pool.size())));
+    size_t lo = pool.size() - window;
+    return pool[lo + static_cast<size_t>(rng.below(window))];
+  };
+
+  for (int i = 0; i < spec.ops; ++i) {
+    if (rng.chance(spec.notProbability)) {
+      pool.push_back(g.addOp(OpKind::Not, {pick()}));
+      continue;
+    }
+    int arity = static_cast<int>(rng.range(2, spec.maxArity));
+    std::vector<NodeId> operands;
+    // The locality window may hold fewer distinct nodes than the sampled
+    // arity; bound the attempts and keep whatever was collected.
+    for (int attempt = 0;
+         attempt < 8 * arity && static_cast<int>(operands.size()) < arity;
+         ++attempt) {
+      NodeId cand = pick();
+      if (std::find(operands.begin(), operands.end(), cand) ==
+          operands.end())
+        operands.push_back(cand);
+    }
+    if (static_cast<int>(operands.size()) < 2) continue;
+    OpKind op = mix[static_cast<size_t>(rng.below(mix.size()))];
+    pool.push_back(g.addOp(op, std::move(operands)));
+  }
+
+  // Every sink becomes an output (keeps the whole DAG live).
+  for (NodeId i = g.firstId(); i < g.endId(); ++i)
+    if (g.node(i).isOp() && g.node(i).users.empty()) g.markOutput(i);
+  return g;
+}
+
+}  // namespace sherlock::workloads

@@ -1,0 +1,32 @@
+// Parameterized random DAG generator for property-based testing and mapper
+// scalability benchmarks: produces valid bulk-bitwise DAGs with a
+// controllable size, operand fan-in, depth bias, and operation mix.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/graph.h"
+
+namespace sherlock::workloads {
+
+struct RandomDagSpec {
+  int inputs = 8;
+  int ops = 64;
+  /// Maximum operands per op (>= 2); actual arity is sampled in
+  /// [2, maxArity] (unary Not nodes are sampled separately).
+  int maxArity = 2;
+  /// Probability that an op is a unary NOT.
+  double notProbability = 0.1;
+  /// Locality bias in (0, 1]: operands are sampled from the most recent
+  /// `locality` fraction of existing nodes, giving chain-like DAGs for
+  /// small values and wide reuse-heavy DAGs for 1.0.
+  double locality = 1.0;
+  /// Include XOR ops (disable for graphs that must stay XOR-free).
+  bool useXor = true;
+  uint64_t seed = 7;
+};
+
+/// Builds a random DAG; every sink op node is marked as an output.
+ir::Graph buildRandomDag(const RandomDagSpec& spec);
+
+}  // namespace sherlock::workloads

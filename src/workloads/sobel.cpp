@@ -1,0 +1,74 @@
+#include "workloads/sobel.h"
+
+#include <cstdlib>
+
+#include "support/diagnostics.h"
+#include "workloads/bitslice_builder.h"
+
+namespace sherlock::workloads {
+
+std::string sobelPixelName(int row, int col) {
+  return strCat("p", row, "_", col);
+}
+
+ir::Graph buildSobel(const SobelSpec& spec) {
+  checkArg(spec.pixelBits >= 2 && spec.pixelBits <= 16,
+           "pixelBits must be in [2, 16]");
+  checkArg(spec.width >= 1, "width must be >= 1");
+  ir::Graph g;
+  BitsliceBuilder b(g);
+
+  // The 3 x (width + 2) pixel patch; adjacent windows share pixels.
+  std::vector<std::vector<Word>> patch(3);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < spec.width + 2; ++c)
+      patch[static_cast<size_t>(r)].push_back(
+          b.input(sobelPixelName(r, c), spec.pixelBits));
+
+  // Column/row sums; 2*mid is a free slice shift.
+  auto sum3 = [&](const Word& a, const Word& mid, const Word& c) {
+    return b.add(b.add(a, b.shiftLeft(mid, 1)), c);
+  };
+
+  for (int x = 0; x < spec.width; ++x) {
+    const Word& nw = patch[0][static_cast<size_t>(x)];
+    const Word& n = patch[0][static_cast<size_t>(x + 1)];
+    const Word& ne = patch[0][static_cast<size_t>(x + 2)];
+    const Word& w = patch[1][static_cast<size_t>(x)];
+    const Word& e = patch[1][static_cast<size_t>(x + 2)];
+    const Word& sw = patch[2][static_cast<size_t>(x)];
+    const Word& s = patch[2][static_cast<size_t>(x + 1)];
+    const Word& se = patch[2][static_cast<size_t>(x + 2)];
+
+    Word left = sum3(nw, w, sw);
+    Word right = sum3(ne, e, se);
+    Word top = sum3(nw, n, ne);
+    Word bottom = sum3(sw, s, se);
+
+    Word gx = b.sub(left, right);
+    Word gy = b.sub(top, bottom);
+    Word mag = b.add(b.abs(gx), b.abs(gy));
+
+    Word threshold =
+        b.constant(spec.threshold, static_cast<int>(mag.size()));
+    g.markOutput(b.greaterEqual(mag, threshold));
+  }
+  return g;
+}
+
+bool sobelReference(const uint64_t neighbors[8], const SobelSpec& spec) {
+  int64_t nw = static_cast<int64_t>(neighbors[0]);
+  int64_t n = static_cast<int64_t>(neighbors[1]);
+  int64_t ne = static_cast<int64_t>(neighbors[2]);
+  int64_t w = static_cast<int64_t>(neighbors[3]);
+  int64_t e = static_cast<int64_t>(neighbors[4]);
+  int64_t sw = static_cast<int64_t>(neighbors[5]);
+  int64_t s = static_cast<int64_t>(neighbors[6]);
+  int64_t se = static_cast<int64_t>(neighbors[7]);
+  int64_t gx = (nw + 2 * w + sw) - (ne + 2 * e + se);
+  int64_t gy = (nw + 2 * n + ne) - (sw + 2 * s + se);
+  return std::abs(gx) + std::abs(gy) >=
+         static_cast<int64_t>(spec.threshold);
+}
+
+}  // namespace sherlock::workloads

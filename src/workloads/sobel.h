@@ -1,0 +1,40 @@
+// Bit-sliced Sobel edge detection (paper Sec. 4 "Image processing",
+// following the bit-sliced near-memory formulation of Joshi et al.):
+// every bulk element is one pixel position; the nine 8-bit neighborhood
+// pixels arrive as bit-sliced inputs, the kernel computes
+// |Gx| + |Gy| >= threshold with ripple-carry bit-serial arithmetic, and
+// emits one edge-mask slice.
+//
+//   Gx = (nw + 2w + sw) - (ne + 2e + se)
+//   Gy = (nw + 2n + ne) - (sw + 2s + se)
+#pragma once
+
+#include <cstdint>
+
+#include "ir/graph.h"
+
+namespace sherlock::workloads {
+
+struct SobelSpec {
+  int pixelBits = 8;
+  uint64_t threshold = 128;
+  /// Output pixels computed per kernel instance: a horizontal strip of
+  /// `width` sliding 3x3 windows over a 3 x (width + 2) pixel patch.
+  /// Adjacent windows share six of their nine neighbors — the data reuse
+  /// the optimized mapping exploits.
+  int width = 1;
+};
+
+/// Builds the Sobel kernel DAG. Inputs: "p<r>_<c>.i" for rows r in [0, 3),
+/// columns c in [0, width + 2), bit i in [0, pixelBits). Outputs: one
+/// edge-mask slice per window position.
+ir::Graph buildSobel(const SobelSpec& spec = {});
+
+/// Reference on plain pixel values (for tests). Neighbor order:
+/// nw, n, ne, w, e, sw, s, se.
+bool sobelReference(const uint64_t neighbors[8], const SobelSpec& spec);
+
+/// Input name of the patch pixel at (row, col): "p<row>_<col>".
+std::string sobelPixelName(int row, int col);
+
+}  // namespace sherlock::workloads

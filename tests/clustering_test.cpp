@@ -1,0 +1,257 @@
+// Focused tests for the Algorithm 2 clustering engine: the paper's
+// Fig. 5 assignment cases, the MergeClusters step, and the refinement
+// pass — each exercised on hand-built DAGs where the expected grouping is
+// known.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/analysis.h"
+#include "mapping/clustering.h"
+#include "workloads/random_dag.h"
+
+namespace sherlock::mapping {
+namespace {
+
+using ir::Graph;
+using ir::NodeId;
+using ir::OpKind;
+
+ClusteringOptions opts(int capacity, int target = 0, int maxC = 0) {
+  ClusteringOptions o;
+  o.columnCapacity = capacity;
+  o.targetClusters = target;
+  o.maxClusters = maxC;
+  return o;
+}
+
+// Case 1: a node with a single predecessor joins its cluster while it
+// fits, and opens a new cluster when it does not.
+TEST(AlgorithmCases, Case1JoinsPredecessorCluster) {
+  Graph g;
+  NodeId a = g.addInput("a"), b = g.addInput("b");
+  NodeId x = g.addOp(OpKind::And, {a, b});
+  NodeId y = g.addOp(OpKind::Or, {x, a});
+  g.markOutput(y);
+  auto res = findClusters(g, opts(64));
+  EXPECT_EQ(res.clusterOf[static_cast<size_t>(x)],
+            res.clusterOf[static_cast<size_t>(y)]);
+}
+
+TEST(AlgorithmCases, Case1OverflowOpensNewCluster) {
+  Graph g;
+  NodeId a = g.addInput("a"), b = g.addInput("b");
+  NodeId acc = g.addOp(OpKind::And, {a, b});
+  std::vector<NodeId> chainNodes{acc};
+  for (int i = 0; i < 6; ++i) {
+    acc = g.addOp(OpKind::And, {acc, a});
+    chainNodes.push_back(acc);
+  }
+  g.markOutput(acc);
+  // Capacity 5 cells: {a, b} + results fill quickly; the chain must split.
+  auto res = findClusters(g, opts(5));
+  std::set<int> used;
+  for (NodeId n : chainNodes)
+    used.insert(res.clusterOf[static_cast<size_t>(n)]);
+  EXPECT_GT(used.size(), 1u);
+  for (const Cluster& c : res.clusters) EXPECT_LE(c.cellCount(), 5);
+}
+
+// Case 2 (paper Fig. 5a): a join node whose predecessor clusters have
+// identical size and priorities merges them.
+TEST(AlgorithmCases, Case2MergesSymmetricClusters) {
+  Graph g;
+  NodeId a = g.addInput("a"), b = g.addInput("b");
+  NodeId c = g.addInput("c"), d = g.addInput("d");
+  NodeId l = g.addOp(OpKind::And, {a, b});   // left cluster
+  NodeId r = g.addOp(OpKind::And, {c, d});   // right cluster, same shape
+  NodeId join = g.addOp(OpKind::Xor, {l, r});
+  g.markOutput(join);
+  auto res = findClusters(g, opts(64));
+  EXPECT_EQ(res.clusterOf[static_cast<size_t>(l)],
+            res.clusterOf[static_cast<size_t>(r)]);
+  EXPECT_EQ(res.clusterOf[static_cast<size_t>(l)],
+            res.clusterOf[static_cast<size_t>(join)]);
+  EXPECT_EQ(res.crossClusterEdges, 0);
+}
+
+// Case 4 (paper Fig. 5c): greater dependence on one cluster wins.
+TEST(AlgorithmCases, Case4FollowsStrongerDependence) {
+  Graph g;
+  NodeId a = g.addInput("a"), b = g.addInput("b"), c = g.addInput("c");
+  NodeId d = g.addInput("d"), e = g.addInput("e");
+  // Left cluster: one producer; right cluster: two producers, deeper.
+  NodeId l1 = g.addOp(OpKind::And, {a, b});
+  NodeId r1 = g.addOp(OpKind::And, {c, d});
+  NodeId r2 = g.addOp(OpKind::Or, {r1, e});
+  NodeId r3 = g.addOp(OpKind::And, {r1, c});
+  // Join depends once on the left cluster, twice on the right one.
+  NodeId join = g.addOp(OpKind::Xor, {l1, r2, r3});
+  g.markOutput(join);
+  auto res = findClusters(g, opts(64));
+  EXPECT_EQ(res.clusterOf[static_cast<size_t>(join)],
+            res.clusterOf[static_cast<size_t>(r2)]);
+}
+
+// Case 5 (paper Fig. 5d): under equal dependence, the smaller cluster
+// wins (beta < 0).
+TEST(AlgorithmCases, Case5PrefersSmallerCluster) {
+  Graph g;
+  NodeId a = g.addInput("a"), b = g.addInput("b"), c = g.addInput("c");
+  NodeId d = g.addInput("d"), e = g.addInput("e");
+  // Big cluster: chain of three; small cluster: single node. Level the
+  // priorities so the join sees equal gaps.
+  NodeId big1 = g.addOp(OpKind::And, {a, b});
+  NodeId big2 = g.addOp(OpKind::And, {big1, c});
+  NodeId big3 = g.addOp(OpKind::And, {big2, d});
+  NodeId small1 = g.addOp(OpKind::Or, {d, e});
+  NodeId join = g.addOp(OpKind::Xor, {big3, small1});
+  g.markOutput(join);
+  auto res = findClusters(g, opts(64));
+  // big3 and small1 share the b-level (both feed only the join), so the
+  // affinity terms tie and the size term must decide.
+  auto levels = ir::bLevels(g);
+  ASSERT_EQ(levels[static_cast<size_t>(big3)],
+            levels[static_cast<size_t>(small1)]);
+  EXPECT_EQ(res.clusterOf[static_cast<size_t>(join)],
+            res.clusterOf[static_cast<size_t>(small1)]);
+}
+
+// MergeClusters: dependent clusters merge toward k; independent ones are
+// left alone by phase 1.
+TEST(MergeClusters, DependentPairsMergeFirst) {
+  Graph g;
+  // Two dependent chains (A feeds B) plus an unrelated chain C.
+  NodeId a = g.addInput("a"), b = g.addInput("b");
+  NodeId c = g.addInput("c"), d = g.addInput("d");
+  NodeId chainA = g.addOp(OpKind::And, {a, b});
+  NodeId chainB = g.addOp(OpKind::Or, {chainA, a});
+  NodeId chainC = g.addOp(OpKind::Xor, {c, d});
+  g.markOutput(chainB);
+  g.markOutput(chainC);
+
+  // Force three singleton clusters, then merge toward 2.
+  std::vector<Cluster> clusters(3);
+  std::vector<int> clusterOf(g.numNodes(), -1);
+  int idx = 0;
+  for (NodeId n : {chainA, chainB, chainC}) {
+    clusters[static_cast<size_t>(idx)].nodes.push_back(n);
+    clusters[static_cast<size_t>(idx)].cells.insert(n);
+    for (NodeId o : g.node(n).operands)
+      clusters[static_cast<size_t>(idx)].cells.insert(o);
+    clusterOf[static_cast<size_t>(n)] = idx;
+    ++idx;
+  }
+  mergeClusters(g, opts(64, 2), clusters, clusterOf);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusterOf[static_cast<size_t>(chainA)],
+            clusterOf[static_cast<size_t>(chainB)]);
+  EXPECT_NE(clusterOf[static_cast<size_t>(chainA)],
+            clusterOf[static_cast<size_t>(chainC)]);
+}
+
+TEST(MergeClusters, IndependentClustersStaySeparate) {
+  Graph g;
+  std::vector<NodeId> sinks;
+  for (int i = 0; i < 4; ++i) {
+    NodeId x = g.addInput(strCat("x", i));
+    NodeId y = g.addInput(strCat("y", i));
+    sinks.push_back(g.addOp(OpKind::And, {x, y}));
+    g.markOutput(sinks.back());
+  }
+  auto res = findClusters(g, opts(64, /*target=*/1));
+  // Phase 1 refuses to merge independent clusters even though k = 1.
+  EXPECT_EQ(res.clusters.size(), 4u);
+}
+
+TEST(MergeClusters, HardCapForcesIndependentMerges) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) {
+    NodeId x = g.addInput(strCat("x", i));
+    NodeId y = g.addInput(strCat("y", i));
+    g.markOutput(g.addOp(OpKind::And, {x, y}));
+  }
+  auto res = findClusters(g, opts(64, 1, /*maxClusters=*/2));
+  EXPECT_EQ(res.clusters.size(), 2u);
+}
+
+TEST(MergeClusters, ThrowsWhenNothingFits) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) {
+    NodeId x = g.addInput(strCat("x", i));
+    NodeId y = g.addInput(strCat("y", i));
+    g.markOutput(g.addOp(OpKind::And, {x, y}));
+  }
+  // Capacity 3 holds exactly one op (2 operands + result): merging any two
+  // clusters is infeasible, but the cap demands one cluster.
+  EXPECT_THROW(findClusters(g, opts(3, 1, 1)), MappingError);
+}
+
+// Refinement: a node seeded into the wrong cluster migrates to its
+// neighbors.
+TEST(Refinement, MovesNodeToNeighborCluster) {
+  Graph g;
+  NodeId a = g.addInput("a"), b = g.addInput("b");
+  NodeId c = g.addInput("c"), d = g.addInput("d");
+  NodeId t1 = g.addOp(OpKind::And, {a, b});
+  NodeId t2 = g.addOp(OpKind::Or, {t1, a});
+  NodeId u1 = g.addOp(OpKind::Xor, {c, d});
+  g.markOutput(t2);
+  g.markOutput(u1);
+
+  // Deliberately bad seed: t2 grouped with the unrelated u1.
+  std::vector<Cluster> clusters(2);
+  std::vector<int> clusterOf(g.numNodes(), -1);
+  auto seed = [&](int ci, NodeId n) {
+    clusters[static_cast<size_t>(ci)].nodes.push_back(n);
+    clusters[static_cast<size_t>(ci)].cells.insert(n);
+    for (NodeId o : g.node(n).operands)
+      clusters[static_cast<size_t>(ci)].cells.insert(o);
+    clusterOf[static_cast<size_t>(n)] = ci;
+  };
+  seed(0, t1);
+  seed(1, t2);
+  seed(1, u1);
+  ASSERT_EQ(countCrossClusterEdges(g, clusterOf), 1);
+
+  ClusteringOptions o = opts(64);
+  refineClusters(g, o, clusters, clusterOf);
+  EXPECT_EQ(countCrossClusterEdges(g, clusterOf), 0);
+  EXPECT_EQ(clusterOf[static_cast<size_t>(t1)],
+            clusterOf[static_cast<size_t>(t2)]);
+}
+
+TEST(Refinement, NeverExceedsCapacity) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    workloads::RandomDagSpec spec;
+    spec.seed = seed;
+    spec.ops = 200;
+    spec.maxArity = 3;
+    Graph g = workloads::buildRandomDag(spec);
+    auto res = findClusters(g, opts(20));
+    for (const Cluster& c : res.clusters)
+      EXPECT_LE(c.cellCount(), 20) << "seed " << seed;
+  }
+}
+
+TEST(Refinement, NeverIncreasesCrossEdges) {
+  for (uint64_t seed = 10; seed <= 15; ++seed) {
+    workloads::RandomDagSpec spec;
+    spec.seed = seed;
+    spec.ops = 300;
+    spec.maxArity = 3;
+    Graph g = workloads::buildRandomDag(spec);
+
+    ClusteringOptions noRefine = opts(30);
+    noRefine.refinePasses = 0;
+    ClusteringOptions withRefine = opts(30);
+    withRefine.refinePasses = 3;
+    auto before = findClusters(g, noRefine);
+    auto after = findClusters(g, withRefine);
+    EXPECT_LE(after.crossClusterEdges, before.crossClusterEdges)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sherlock::mapping

@@ -1,0 +1,63 @@
+// Unit tests for the CPU baseline cost model (Fig. 7 comparator).
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_model.h"
+#include "workloads/aes.h"
+#include "workloads/bitweaving.h"
+#include "workloads/sobel.h"
+
+namespace sherlock::cpu {
+namespace {
+
+TEST(CpuModel, ScalesWithBulkWidth) {
+  ir::Graph g = workloads::buildBitweaving({16});
+  auto narrow = estimateCpu(g, 512);
+  auto wide = estimateCpu(g, 4096);
+  EXPECT_NEAR(wide.latencyNs / narrow.latencyNs, 8.0, 2.0);
+  EXPECT_GT(wide.energyPj, narrow.energyPj);
+}
+
+TEST(CpuModel, ScalesWithGraphSize) {
+  auto small = estimateCpu(workloads::buildBitweaving({8}), 1024);
+  auto large = estimateCpu(workloads::buildBitweaving({16}), 1024);
+  EXPECT_GT(large.latencyNs, small.latencyNs);
+  EXPECT_GT(large.wordOps, small.wordOps);
+}
+
+TEST(CpuModel, WorkingSetDrivesMemoryLevel) {
+  // Same op count, wider bulk -> larger working set -> worse per-op cost
+  // once it spills the caches.
+  ir::Graph g = workloads::buildSobel({});
+  auto fits = estimateCpu(g, 64);
+  auto spills = estimateCpu(g, 4096);
+  double perOpFits = fits.latencyNs / fits.wordOps;
+  double perOpSpills = spills.latencyNs / spills.wordOps;
+  EXPECT_GT(perOpSpills, perOpFits);
+  EXPECT_GT(spills.workingSetBytes, fits.workingSetBytes);
+}
+
+TEST(CpuModel, MultiOperandCountsWordOps) {
+  ir::Graph g;
+  auto a = g.addInput("a");
+  auto b = g.addInput("b");
+  auto c = g.addInput("c");
+  auto d = g.addInput("d");
+  g.markOutput(g.addOp(ir::OpKind::And, {a, b, c, d}));
+  auto r = estimateCpu(g, 64);
+  // 4-operand AND = 3 two-input word ops at width 1 word.
+  EXPECT_EQ(r.wordOps, 3);
+}
+
+TEST(CpuModel, RejectsBadWidth) {
+  ir::Graph g = workloads::buildBitweaving({8});
+  EXPECT_THROW(estimateCpu(g, 0), Error);
+}
+
+TEST(CpuModel, EdpUnitsConsistent) {
+  ir::Graph g = workloads::buildBitweaving({16});
+  auto r = estimateCpu(g, 2048);
+  EXPECT_NEAR(r.edp(), r.energyUj() * r.latencyUs(), 1e-9);
+}
+
+}  // namespace
+}  // namespace sherlock::cpu

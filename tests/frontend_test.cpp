@@ -1,0 +1,188 @@
+// Unit tests for the kernel-language front-end: lexer, parser, and
+// AST-to-DAG lowering (loop unrolling, integer evaluation, diagnostics).
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+#include "frontend/lowering.h"
+#include "ir/analysis.h"
+#include "ir/evaluator.h"
+#include "workloads/bitweaving.h"
+
+namespace sherlock::frontend {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  auto toks = tokenize("input x; bit y = x & ~x | 1 ^ 0;");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::KwInput);
+  EXPECT_EQ(toks[1].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks.back().kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, CommentsAndPositions) {
+  auto toks = tokenize("// comment\n/* block\n */ input x;");
+  EXPECT_EQ(toks[0].kind, TokenKind::KwInput);
+  EXPECT_EQ(toks[0].line, 3);
+  EXPECT_THROW(tokenize("/* unterminated"), ParseError);
+  EXPECT_THROW(tokenize("input $x;"), ParseError);
+}
+
+TEST(Lexer, RelationalOperators) {
+  auto toks = tokenize("< <= > >=");
+  EXPECT_EQ(toks[0].kind, TokenKind::Less);
+  EXPECT_EQ(toks[1].kind, TokenKind::LessEq);
+  EXPECT_EQ(toks[2].kind, TokenKind::Greater);
+  EXPECT_EQ(toks[3].kind, TokenKind::GreaterEq);
+}
+
+TEST(Lowering, SimpleKernel) {
+  ir::Graph g = compileKernel(R"(
+    input a;
+    input b;
+    output r;
+    r = a & ~b;
+  )");
+  g.validate();
+  EXPECT_EQ(g.inputCount(), 2u);
+  EXPECT_EQ(g.opCount(), 2u);
+  std::map<std::string, uint64_t> in{{"a", 0b1100}, {"b", 0b1010}};
+  auto words = ir::evaluateAllWords(g, in);
+  EXPECT_EQ(words[static_cast<size_t>(g.outputs()[0])] & 0xf, 0b0100u);
+}
+
+TEST(Lowering, OperatorPrecedence) {
+  // a | b & c ^ d  parses as  a | ((b & c) ^ d).
+  ir::Graph g = compileKernel(R"(
+    input a; input b; input c; input d;
+    output r;
+    r = a | b & c ^ d;
+  )");
+  std::map<std::string, uint64_t> in{
+      {"a", 0b0000}, {"b", 0b1100}, {"c", 0b1010}, {"d", 0b0001}};
+  auto words = ir::evaluateAllWords(g, in);
+  EXPECT_EQ(words[static_cast<size_t>(g.outputs()[0])] & 0xf,
+            ((0b1100 & 0b1010) ^ 0b0001) | 0b0000u);
+}
+
+TEST(Lowering, ArraysAndLoops) {
+  ir::Graph g = compileKernel(R"(
+    input x[4];
+    output r;
+    bit acc = 0;
+    for (i = 0; i < 4; i = i + 1) {
+      acc = acc | x[i];
+    }
+    r = acc;
+  )");
+  // acc starts as const 0; OR chain over 4 slices.
+  EXPECT_EQ(g.inputCount(), 4u);
+  std::map<std::string, uint64_t> in{
+      {"x.0", 1}, {"x.1", 0}, {"x.2", 4}, {"x.3", 0}};
+  auto words = ir::evaluateAllWords(g, in);
+  EXPECT_EQ(words[static_cast<size_t>(g.outputs()[0])], 5u);
+}
+
+TEST(Lowering, CountingDownLoopAndIntegerArithmetic) {
+  ir::Graph g = compileKernel(R"(
+    input x[6];
+    output r;
+    bit acc = 0;
+    for (i = 5; i >= 2; i = i - 1) {
+      acc = acc ^ x[i - 1];
+    }
+    r = acc;
+  )");
+  // Touches x[4], x[3], x[2], x[1].
+  std::map<std::string, uint64_t> in{{"x.0", 1}, {"x.1", 2}, {"x.2", 4},
+                                     {"x.3", 8}, {"x.4", 16}, {"x.5", 32}};
+  auto words = ir::evaluateAllWords(g, in);
+  EXPECT_EQ(words[static_cast<size_t>(g.outputs()[0])], 2u ^ 4u ^ 8u ^ 16u);
+}
+
+TEST(Lowering, OutputArray) {
+  ir::Graph g = compileKernel(R"(
+    input a; input b;
+    output r[2];
+    r[0] = a & b;
+    r[1] = a | b;
+  )");
+  EXPECT_EQ(g.outputs().size(), 2u);
+}
+
+TEST(Lowering, BitweavingKernelMatchesBuilder) {
+  // The paper's Fig. 3(a) BETWEEN kernel written in the language; must be
+  // semantically identical to the programmatic builder.
+  const int bits = 6;
+  ir::Graph fromSource = compileKernel(R"(
+    input v[6]; input c1[6]; input c2[6];
+    output r;
+    bit gt = 0; bit eqh = 1;
+    bit lt = 0; bit eql = 1;
+    for (i = 5; i >= 0; i = i - 1) {
+      gt = gt | (eqh & v[i] & ~c1[i]);
+      eqh = eqh & ~(v[i] ^ c1[i]);
+      lt = lt | (eql & ~v[i] & c2[i]);
+      eql = eql & ~(v[i] ^ c2[i]);
+    }
+    r = (gt | eqh) & (lt | eql);
+  )");
+  fromSource.validate();
+  for (uint64_t v = 0; v < 64; v += 7) {
+    std::map<std::string, uint64_t> in;
+    for (int b = 0; b < bits; ++b) {
+      in[strCat("v.", b)] = (v >> b) & 1 ? ~uint64_t{0} : 0;
+      in[strCat("c1.", b)] = (20 >> b) & 1 ? ~uint64_t{0} : 0;
+      in[strCat("c2.", b)] = (45 >> b) & 1 ? ~uint64_t{0} : 0;
+    }
+    auto words = ir::evaluateAllWords(fromSource, in);
+    bool got = words[static_cast<size_t>(fromSource.outputs()[0])] & 1;
+    EXPECT_EQ(got, workloads::bitweavingReference(v, 20, 45, bits))
+        << "v = " << v;
+  }
+}
+
+TEST(Lowering, Diagnostics) {
+  EXPECT_THROW(compileKernel("output r; r = x;"), ParseError);   // undeclared
+  EXPECT_THROW(compileKernel("input a; input a;"), ParseError);  // redecl
+  EXPECT_THROW(compileKernel("bit x; output r; r = x;"),
+               ParseError);  // use before assignment
+  EXPECT_THROW(compileKernel("input a; bit b = a & 2;"),
+               ParseError);  // bad bit constant
+  EXPECT_THROW(compileKernel("input a[2]; output r; r = a;"),
+               ParseError);  // array without index
+  EXPECT_THROW(compileKernel("input a[2]; output r; r = a[5];"),
+               ParseError);  // out of bounds
+  EXPECT_THROW(compileKernel("output r;"), ParseError);  // never assigned
+  EXPECT_THROW(compileKernel("input a; bit b = a +"),
+               ParseError);  // syntax
+  EXPECT_THROW(compileKernel(R"(
+    input a; output r;
+    for (i = 0; i >= 0; i = i + 1) { r = a; }
+  )"),
+               ParseError);  // unbounded loop hits the unroll limit
+}
+
+TEST(Lowering, LoopVarScoping) {
+  // Nested loops and reuse of the loop variable after the loop ends.
+  ir::Graph g = compileKernel(R"(
+    input x[4];
+    output r;
+    bit acc = 0;
+    for (i = 0; i < 2; i = i + 1) {
+      for (j = 0; j < 2; j = j + 1) {
+        acc = acc ^ x[2 * i + j];
+      }
+    }
+    for (i = 0; i < 1; i = i + 1) { acc = acc ^ x[0]; }
+    r = acc;
+  )");
+  std::map<std::string, uint64_t> in{
+      {"x.0", 1}, {"x.1", 2}, {"x.2", 4}, {"x.3", 8}};
+  auto words = ir::evaluateAllWords(g, in);
+  EXPECT_EQ(words[static_cast<size_t>(g.outputs()[0])],
+            (1u ^ 2u ^ 4u ^ 8u) ^ 1u);
+}
+
+}  // namespace
+}  // namespace sherlock::frontend

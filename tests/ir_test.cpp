@@ -1,0 +1,311 @@
+// Unit tests for the DAG IR: construction, validation, analyses (b-level),
+// the reference evaluator, and DOT export.
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "ir/dot.h"
+#include "ir/evaluator.h"
+#include "ir/graph.h"
+
+namespace sherlock::ir {
+namespace {
+
+TEST(Ops, NamesRoundTrip) {
+  for (OpKind op : {OpKind::And, OpKind::Or, OpKind::Xor, OpKind::Nand,
+                    OpKind::Nor, OpKind::Xnor, OpKind::Not, OpKind::Copy})
+    EXPECT_EQ(opFromName(opName(op)), op);
+  EXPECT_THROW(opFromName("FROB"), Error);
+}
+
+TEST(Ops, EvalBinary) {
+  uint64_t a = 0b1100, b = 0b1010;
+  std::vector<uint64_t> ops{a, b};
+  EXPECT_EQ(evalOp(OpKind::And, ops) & 0xf, 0b1000u);
+  EXPECT_EQ(evalOp(OpKind::Or, ops) & 0xf, 0b1110u);
+  EXPECT_EQ(evalOp(OpKind::Xor, ops) & 0xf, 0b0110u);
+  EXPECT_EQ(evalOp(OpKind::Nand, ops) & 0xf, 0b0111u);
+  EXPECT_EQ(evalOp(OpKind::Nor, ops) & 0xf, 0b0001u);
+  EXPECT_EQ(evalOp(OpKind::Xnor, ops) & 0xf, 0b1001u);
+}
+
+TEST(Ops, EvalMultiOperand) {
+  std::vector<uint64_t> ops{0b1111, 0b1100, 0b1010};
+  EXPECT_EQ(evalOp(OpKind::And, ops) & 0xf, 0b1000u);
+  EXPECT_EQ(evalOp(OpKind::Or, ops) & 0xf, 0b1111u);
+  EXPECT_EQ(evalOp(OpKind::Xor, ops) & 0xf, 0b1001u);
+}
+
+TEST(Ops, EvalUnary) {
+  std::vector<uint64_t> one{0b1100};
+  EXPECT_EQ(evalOp(OpKind::Not, one) & 0xf, 0b0011u);
+  EXPECT_EQ(evalOp(OpKind::Copy, one) & 0xf, 0b1100u);
+  EXPECT_THROW(evalOp(OpKind::Not, std::vector<uint64_t>{1, 2}), Error);
+  EXPECT_THROW(evalOp(OpKind::And, one), Error);
+}
+
+TEST(Graph, ArityEnforced) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  EXPECT_THROW(g.addOp(OpKind::And, {a}), Error);
+  EXPECT_THROW(g.addOp(OpKind::Not, {a, a}), Error);
+  EXPECT_THROW(g.addOp(OpKind::And, {a, 99}), Error);
+}
+
+TEST(Graph, UserListsTrackConsumers) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId x = g.addOp(OpKind::And, {a, b});
+  NodeId y = g.addOp(OpKind::Or, {x, a});
+  EXPECT_EQ(g.node(a).users, (std::vector<NodeId>{x, y}));
+  EXPECT_EQ(g.node(x).users, (std::vector<NodeId>{y}));
+  g.validate();
+}
+
+TEST(Graph, CountsAndNodeLists) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId c = g.addConst(true);
+  NodeId x = g.addOp(OpKind::Or, {a, c});
+  g.markOutput(x);
+  EXPECT_EQ(g.opCount(), 1u);
+  EXPECT_EQ(g.inputCount(), 1u);
+  EXPECT_EQ(g.valueCount(), 3u);
+  EXPECT_EQ(g.opNodes(), (std::vector<NodeId>{x}));
+  EXPECT_EQ(g.inputNodes(), (std::vector<NodeId>{a}));
+  // Outputs are positional: marking twice keeps both entries.
+  g.markOutput(x);
+  EXPECT_EQ(g.outputs().size(), 2u);
+}
+
+// Paper Fig. 3(b)-style chain: b-level counts op nodes on the longest
+// path to an exit.
+TEST(Analysis, BLevelChain) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId c = g.addInput("c");
+  NodeId x = g.addOp(OpKind::Xor, {a, b});   // depth 3 from exit
+  NodeId y = g.addOp(OpKind::And, {x, c});   // depth 2
+  NodeId z = g.addOp(OpKind::Or, {y, a});    // depth 1 (exit)
+  auto levels = bLevels(g);
+  EXPECT_EQ(levels[static_cast<size_t>(z)], 1);
+  EXPECT_EQ(levels[static_cast<size_t>(y)], 2);
+  EXPECT_EQ(levels[static_cast<size_t>(x)], 3);
+  // Leaf b-level equals the max of its users (zero weight itself).
+  EXPECT_EQ(levels[static_cast<size_t>(a)], 3);
+  EXPECT_EQ(criticalPathLength(g), 3);
+}
+
+TEST(Analysis, BLevelSortedOpsDescending) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId x = g.addOp(OpKind::And, {a, b});
+  NodeId y = g.addOp(OpKind::Or, {x, b});
+  NodeId w = g.addOp(OpKind::Xor, {a, b});  // independent, level 1
+  auto sorted = bLevelSortedOps(g);
+  auto levels = bLevels(g);
+  for (size_t i = 1; i < sorted.size(); ++i)
+    EXPECT_GE(levels[static_cast<size_t>(sorted[i - 1])],
+              levels[static_cast<size_t>(sorted[i])]);
+  EXPECT_EQ(sorted.front(), x);
+  // Equal levels tie-break by id.
+  EXPECT_EQ(sorted[1], y);
+  EXPECT_EQ(sorted[2], w);
+}
+
+TEST(Analysis, OperandCountHistogram) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId c = g.addInput("c");
+  g.addOp(OpKind::And, {a, b});
+  g.addOp(OpKind::Or, {a, b, c});
+  g.addOp(OpKind::Not, {a});
+  auto hist = operandCountHistogram(g);
+  ASSERT_GE(hist.size(), 4u);
+  EXPECT_EQ(hist[1], 1);
+  EXPECT_EQ(hist[2], 1);
+  EXPECT_EQ(hist[3], 1);
+}
+
+TEST(Evaluator, BasicAndMultiWidth) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId x = g.addOp(OpKind::Nand, {a, b});
+  g.markOutput(x);
+  InputValues in;
+  in.emplace("a", BitVector::fromString("1100"));
+  in.emplace("b", BitVector::fromString("1010"));
+  auto outs = evaluateOutputs(g, in);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].toString(), "0111");
+}
+
+TEST(Evaluator, MissingInputThrows) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  g.markOutput(a);
+  InputValues in;
+  in.emplace("other", BitVector(4));
+  EXPECT_THROW(evaluateOutputs(g, in), Error);
+}
+
+TEST(Evaluator, WidthMismatchThrows) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  g.markOutput(g.addOp(OpKind::And, {a, b}));
+  InputValues in;
+  in.emplace("a", BitVector(4));
+  in.emplace("b", BitVector(5));
+  EXPECT_THROW(evaluateOutputs(g, in), Error);
+}
+
+TEST(Evaluator, ConstantsFollowWidth) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId ones = g.addConst(true);
+  NodeId x = g.addOp(OpKind::Xor, {a, ones});  // == NOT a
+  g.markOutput(x);
+  InputValues in;
+  in.emplace("a", BitVector::fromString("0110"));
+  EXPECT_EQ(evaluateOutputs(g, in)[0].toString(), "1001");
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId x = g.addOp(OpKind::And, {a, b});
+  g.markOutput(x);
+  std::string dot = toDot(g, "t");
+  EXPECT_NE(dot.find("digraph t"), std::string::npos);
+  EXPECT_NE(dot.find("AND"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sherlock::ir
+
+namespace sherlock::ir {
+namespace {
+
+TEST(Analysis, TLevelsAndSlack) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId c = g.addInput("c");
+  NodeId x = g.addOp(OpKind::Xor, {a, b});  // t=1, b=3 -> slack 0
+  NodeId y = g.addOp(OpKind::And, {x, c});  // t=2, b=2 -> slack 0
+  NodeId w = g.addOp(OpKind::Or, {a, b});   // t=1, b=2 -> slack 1
+  NodeId z = g.addOp(OpKind::Or, {y, w});   // t=3, b=1 -> slack 0
+  g.markOutput(z);
+  auto t = tLevels(g);
+  EXPECT_EQ(t[static_cast<size_t>(x)], 1);
+  EXPECT_EQ(t[static_cast<size_t>(y)], 2);
+  EXPECT_EQ(t[static_cast<size_t>(z)], 3);
+  EXPECT_EQ(t[static_cast<size_t>(a)], 0);  // leaves carry zero weight
+  auto s = slack(g);
+  EXPECT_EQ(s[static_cast<size_t>(x)], 0);
+  EXPECT_EQ(s[static_cast<size_t>(y)], 0);
+  EXPECT_EQ(s[static_cast<size_t>(w)], 1);
+  EXPECT_EQ(s[static_cast<size_t>(z)], 0);
+  EXPECT_EQ(s[static_cast<size_t>(a)], -1);  // not an op
+  auto crit = criticalPathOps(g);
+  EXPECT_EQ(crit, (std::vector<NodeId>{x, y, z}));
+}
+
+TEST(Analysis, LevelWidths) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId x = g.addOp(OpKind::And, {a, b});
+  NodeId y = g.addOp(OpKind::Or, {a, b});
+  g.markOutput(g.addOp(OpKind::Xor, {x, y}));
+  auto widths = levelWidths(g);
+  ASSERT_EQ(widths.size(), 3u);
+  EXPECT_EQ(widths[1], 1);  // the Xor sink
+  EXPECT_EQ(widths[2], 2);  // And + Or
+}
+
+TEST(Analysis, SlackZeroSumsToCriticalPath) {
+  // On a pure chain every op is critical.
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId acc = g.addOp(OpKind::Not, {a});
+  for (int i = 0; i < 5; ++i) acc = g.addOp(OpKind::Not, {acc});
+  g.markOutput(acc);
+  EXPECT_EQ(criticalPathOps(g).size(), 6u);
+  EXPECT_EQ(criticalPathLength(g), 6);
+}
+
+}  // namespace
+}  // namespace sherlock::ir
+
+#include "ir/serialize.h"
+
+namespace sherlock::ir {
+namespace {
+
+TEST(Serialize, RoundTripsStructure) {
+  Graph g;
+  NodeId a = g.addInput("alpha");
+  NodeId b = g.addInput("beta");
+  NodeId c = g.addConst(true);
+  NodeId x = g.addOp(OpKind::Nand, {a, b, c});
+  NodeId y = g.addOp(OpKind::Not, {x});
+  g.markOutput(y);
+  g.markOutput(x);
+
+  Graph back = graphFromText(graphToText(g));
+  ASSERT_EQ(back.numNodes(), g.numNodes());
+  for (NodeId i = g.firstId(); i < g.endId(); ++i) {
+    EXPECT_EQ(back.node(i).kind, g.node(i).kind);
+    EXPECT_EQ(back.node(i).operands, g.node(i).operands);
+    if (g.node(i).isOp()) EXPECT_EQ(back.node(i).op, g.node(i).op);
+    if (g.node(i).isInput()) EXPECT_EQ(back.node(i).name, g.node(i).name);
+    if (g.node(i).isConst())
+      EXPECT_EQ(back.node(i).constValue, g.node(i).constValue);
+  }
+  EXPECT_EQ(back.outputs(), g.outputs());
+}
+
+TEST(Serialize, RoundTripPreservesSemantics) {
+  Graph g;
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId x = g.addOp(OpKind::Xor, {a, b});
+  g.markOutput(g.addOp(OpKind::Nor, {x, a}));
+  Graph back = graphFromText(graphToText(g));
+  std::map<std::string, uint64_t> in{{"a", 0xF0F0}, {"b", 0xCCCC}};
+  EXPECT_EQ(evaluateAllWords(g, in)[static_cast<size_t>(g.outputs()[0])],
+            evaluateAllWords(back, in)[static_cast<size_t>(
+                back.outputs()[0])]);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW(graphFromText("frob x\n"), Error);
+  EXPECT_THROW(graphFromText("op AND 0 1\n"), Error);   // undeclared ids
+  EXPECT_THROW(graphFromText("const 2\n"), Error);
+  EXPECT_THROW(graphFromText("input a\noutput 5\n"), Error);
+  EXPECT_THROW(graphFromText("input a\nop NOT 0 0\n"), Error);  // arity
+}
+
+TEST(Serialize, IgnoresCommentsAndBlankLines) {
+  Graph g = graphFromText(R"(
+    # header
+    input a
+
+    input b  # trailing comment
+    op AND 0 1
+    output 2
+  )");
+  EXPECT_EQ(g.opCount(), 1u);
+  EXPECT_EQ(g.outputs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace sherlock::ir

@@ -1,0 +1,48 @@
+// End-to-end smoke test: builds a small DAG, compiles it with both mapping
+// strategies, and runs the verifying simulator.
+#include <gtest/gtest.h>
+
+#include "ir/graph.h"
+#include "mapping/compiler.h"
+#include "sim/simulator.h"
+
+namespace sherlock {
+namespace {
+
+ir::Graph tinyGraph() {
+  ir::Graph g;
+  auto a = g.addInput("a");
+  auto b = g.addInput("b");
+  auto c = g.addInput("c");
+  auto x = g.addOp(ir::OpKind::And, {a, b});
+  auto y = g.addOp(ir::OpKind::Xor, {x, c});
+  auto z = g.addOp(ir::OpKind::Or, {y, a});
+  g.markOutput(z);
+  g.validate();
+  return g;
+}
+
+TEST(Smoke, NaiveEndToEnd) {
+  ir::Graph g = tinyGraph();
+  isa::TargetSpec target =
+      isa::TargetSpec::square(128, device::TechnologyParams::reRam());
+  mapping::CompileOptions opts;
+  opts.strategy = mapping::Strategy::Naive;
+  auto compiled = mapping::compile(g, target, opts);
+  auto result = sim::simulate(g, target, compiled.program);
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(result.latencyNs, 0.0);
+  EXPECT_GT(result.energyPj, 0.0);
+}
+
+TEST(Smoke, OptimizedEndToEnd) {
+  ir::Graph g = tinyGraph();
+  isa::TargetSpec target =
+      isa::TargetSpec::square(128, device::TechnologyParams::sttMram());
+  auto compiled = mapping::compile(g, target);
+  auto result = sim::simulate(g, target, compiled.program);
+  EXPECT_TRUE(result.verified);
+}
+
+}  // namespace
+}  // namespace sherlock

@@ -1,0 +1,131 @@
+// Unit tests for the support library: bit vectors, RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include "support/bitvector.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace sherlock {
+namespace {
+
+TEST(BitVector, ConstructionAndAccess) {
+  BitVector v(70);
+  EXPECT_EQ(v.size(), 70u);
+  EXPECT_FALSE(v.any());
+  v.set(0, true);
+  v.set(69, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(69));
+  EXPECT_FALSE(v.get(35));
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVector, AllOnesRespectsPadding) {
+  BitVector v(70, true);
+  EXPECT_TRUE(v.all());
+  EXPECT_EQ(v.popcount(), 70u);
+  // Complement of all-ones must be all-zeros, including the padded word.
+  EXPECT_FALSE((~v).any());
+}
+
+TEST(BitVector, BitwiseOps) {
+  auto a = BitVector::fromString("1100");
+  auto b = BitVector::fromString("1010");
+  EXPECT_EQ((a & b).toString(), "1000");
+  EXPECT_EQ((a | b).toString(), "1110");
+  EXPECT_EQ((a ^ b).toString(), "0110");
+  EXPECT_EQ((~a).toString(), "0011");
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(8), b(9);
+  EXPECT_THROW(a & b, InternalError);
+}
+
+TEST(BitVector, Shifts) {
+  auto a = BitVector::fromString("0011");
+  EXPECT_EQ(a.shiftedLeft(1).toString(), "0110");
+  EXPECT_EQ(a.shiftedRight(1).toString(), "0001");
+  EXPECT_EQ(a.shiftedLeft(4).toString(), "0000");
+}
+
+TEST(BitVector, SliceAndRoundTrip) {
+  auto a = BitVector::fromUint64(0xdeadbeef, 32);
+  EXPECT_EQ(a.toUint64(), 0xdeadbeefu);
+  EXPECT_EQ(a.slice(0, 16).toUint64(), 0xbeefu);
+  EXPECT_EQ(a.slice(16, 16).toUint64(), 0xdeadu);
+  EXPECT_EQ(BitVector::fromString(a.toString()), a);
+}
+
+TEST(BitVector, FromStringRejectsBadChars) {
+  EXPECT_THROW(BitVector::fromString("10x1"), Error);
+}
+
+TEST(Rng, DeterministicAndDistinctSeeds) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a(), b());
+  Rng a2(1);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(rng.below(17), 17u);
+    int64_t r = rng.range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+  }
+}
+
+TEST(Stats, MeanGeomeanStddev) {
+  std::vector<double> xs{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0 / 3.0);
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), 1.5275252316519468, 1e-9);
+  EXPECT_THROW(geomean({1.0, -1.0}), Error);
+}
+
+TEST(Stats, Quantile) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, NormalTailAccuracy) {
+  EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normalTail(0.0), 0.5, 1e-12);
+  // Far tail stays positive and decreasing (the reliability model lives
+  // out here).
+  double p6 = normalTail(6.0);
+  double p8 = normalTail(8.0);
+  EXPECT_GT(p6, 0.0);
+  EXPECT_GT(p8, 0.0);
+  EXPECT_LT(p8, p6);
+  EXPECT_NEAR(p6, 9.8659e-10, 1e-13);
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t("demo");
+  t.setHeader({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addSeparator();
+  t.addRow({"b", "22"});
+  std::string s = t.toString();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::sci(0.000123, 1), "1.2e-04");
+}
+
+}  // namespace
+}  // namespace sherlock

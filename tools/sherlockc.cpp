@@ -1,0 +1,188 @@
+// sherlockc — the Sherlock command-line compiler driver.
+//
+// Compiles a kernel written in the Sherlock kernel language (see
+// src/frontend/parser.h for the grammar) down to CIM instructions and
+// optionally simulates it:
+//
+//   sherlockc kernel.sk                      # print CIM assembly
+//   sherlockc --emit dot kernel.sk           # DAG in graphviz format
+//   sherlockc --emit stats kernel.sk         # mapping statistics
+//   sherlockc --emit sim kernel.sk           # simulate (random inputs)
+//   sherlockc --target 1024 --tech stt --strategy naive kernel.sk
+//   sherlockc --mra 4 --nand kernel.sk       # MRA merging + NAND lowering
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "frontend/lowering.h"
+#include "ir/analysis.h"
+#include "ir/dot.h"
+#include "ir/serialize.h"
+#include "mapping/compiler.h"
+#include "mapping/program_analysis.h"
+#include "sim/simulator.h"
+#include "transforms/nand_lowering.h"
+#include "transforms/passes.h"
+#include "transforms/substitution.h"
+
+using namespace sherlock;
+
+namespace {
+
+struct Options {
+  std::string inputFile;
+  std::string emit = "asm";  // asm | dot | dag | stats | sim
+  int targetDim = 512;
+  std::string tech = "reram";
+  std::string strategy = "opt";
+  int mra = 2;
+  double fraction = 1.0;
+  bool nandLower = false;
+  bool aggressive = false;  // -O: inverter folding pipeline
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [options] <kernel.sk>\n"
+         "  --emit asm|dot|dag|stats|sim  output kind (default asm)\n"
+         "  --target <N>               square array dimension (default 512)\n"
+         "  --tech reram|stt|pcm       NVM technology (default reram)\n"
+         "  --strategy opt|naive       mapping algorithm (default opt)\n"
+         "  --mra <k>                  max activated rows; k > 2 enables\n"
+         "                             node substitution (default 2)\n"
+         "  --fraction <f>             substitution budget in [0,1]\n"
+         "  --nand                     lower XOR/OR to NAND form first\n"
+         "  -O                         aggressive DAG optimization\n"
+         "                             (inverter folding / De Morgan)\n";
+  std::exit(2);
+}
+
+Options parseArgs(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--emit") o.emit = next();
+    else if (arg == "--target") o.targetDim = std::stoi(next());
+    else if (arg == "--tech") o.tech = next();
+    else if (arg == "--strategy") o.strategy = next();
+    else if (arg == "--mra") o.mra = std::stoi(next());
+    else if (arg == "--fraction") o.fraction = std::stod(next());
+    else if (arg == "--nand") o.nandLower = true;
+    else if (arg == "-O") o.aggressive = true;
+    else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
+    else if (o.inputFile.empty()) o.inputFile = arg;
+    else usage(argv[0]);
+  }
+  if (o.inputFile.empty()) usage(argv[0]);
+  return o;
+}
+
+device::TechnologyParams techFor(const std::string& name) {
+  if (name == "reram") return device::TechnologyParams::reRam();
+  if (name == "stt") return device::TechnologyParams::sttMram();
+  if (name == "pcm") return device::TechnologyParams::pcm();
+  throw Error(strCat("unknown technology '", name, "'"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts = parseArgs(argc, argv);
+  try {
+    std::ifstream in(opts.inputFile);
+    if (!in) throw Error(strCat("cannot open ", opts.inputFile));
+    std::stringstream source;
+    source << in.rdbuf();
+
+    ir::Graph g = transforms::canonicalize(
+        frontend::compileKernel(source.str()));
+    if (opts.aggressive) g = transforms::optimize(g);
+    if (opts.nandLower)
+      g = transforms::canonicalize(transforms::lowerToNand(g));
+
+    transforms::SubstitutionStats substitution;
+    if (opts.mra > 2) {
+      transforms::SubstitutionOptions sopt;
+      sopt.maxOperands = opts.mra;
+      sopt.fraction = opts.fraction;
+      auto sub = transforms::substituteNodes(g, sopt);
+      g = std::move(sub.graph);
+      substitution = sub.stats;
+    }
+
+    if (opts.emit == "dot") {
+      std::cout << ir::toDot(g, "kernel");
+      return 0;
+    }
+    if (opts.emit == "dag") {
+      std::cout << ir::graphToText(g);
+      return 0;
+    }
+
+    isa::TargetSpec target = isa::TargetSpec::square(
+        opts.targetDim, techFor(opts.tech), opts.mra);
+    mapping::CompileOptions copts;
+    copts.strategy = opts.strategy == "naive" ? mapping::Strategy::Naive
+                                              : mapping::Strategy::Optimized;
+    auto compiled = mapping::compile(g, target, copts);
+
+    if (opts.emit == "asm") {
+      std::cout << "# sherlockc: " << opts.inputFile << " -> "
+                << target.tech.name << " " << opts.targetDim << "x"
+                << opts.targetDim << ", " << opts.strategy << " mapping\n"
+                << isa::toAssembly(compiled.program.instructions);
+      return 0;
+    }
+    if (opts.emit == "stats") {
+      const auto& s = compiled.program.stats;
+      std::cout << "DAG:            " << g.opCount() << " ops, "
+                << g.valueCount() << " values, critical path "
+                << ir::criticalPathLength(g) << "\n";
+      if (opts.mra > 2)
+        std::cout << "substitution:   " << substitution.applied << "/"
+                  << substitution.candidates << " merges, "
+                  << substitution.wideOps << " wide ops\n";
+      std::cout << "instructions:   "
+                << compiled.program.instructions.size() << " (host writes "
+                << s.hostWrites << ", CIM reads " << s.cimReads
+                << ", plain reads " << s.plainReads << ", spills "
+                << s.spillWrites << ", shifts " << s.shifts << ", moves "
+                << s.moves << ")\n"
+                << "merged:         " << s.mergedInstructions
+                << ", chained operands: " << s.chainedOperands << "\n"
+                << "columns used:   " << compiled.program.usedColumns
+                << ", peak live cells: " << compiled.program.peakLiveCells
+                << "\n";
+      if (copts.strategy == mapping::Strategy::Optimized)
+        std::cout << "clusters:       "
+                  << compiled.clustering.clusters.size()
+                  << " (cross edges "
+                  << compiled.clustering.crossClusterEdges << ")\n";
+      std::cout << "\n"
+                << mapping::analyzeProgram(compiled.program).toString();
+      return 0;
+    }
+    if (opts.emit == "sim") {
+      auto result = sim::simulate(g, target, compiled.program);
+      std::cout << "latency:  " << result.latencyNs / 1000.0 << " us ("
+                << result.stallNs / 1000.0 << " us stalled)\n"
+                << "energy:   " << result.energyPj / 1e6 << " uJ\n"
+                << "P_app:    " << result.pApp << " over "
+                << result.cimColumnOps << " CIM column-ops\n"
+                << "verified: " << (result.verified ? "yes" : "no")
+                << "\n";
+      return 0;
+    }
+    usage(argv[0]);
+  } catch (const Error& e) {
+    std::cerr << "sherlockc: error: " << e.what() << "\n";
+    return 1;
+  }
+}
