@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_score.dir/bench_ablation_score.cpp.o"
+  "CMakeFiles/bench_ablation_score.dir/bench_ablation_score.cpp.o.d"
+  "bench_ablation_score"
+  "bench_ablation_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tech_survey.dir/bench_ext_tech_survey.cpp.o"
+  "CMakeFiles/bench_ext_tech_survey.dir/bench_ext_tech_survey.cpp.o.d"
+  "bench_ext_tech_survey"
+  "bench_ext_tech_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tech_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

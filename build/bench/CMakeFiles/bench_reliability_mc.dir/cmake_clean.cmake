@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reliability_mc.dir/bench_reliability_mc.cpp.o"
+  "CMakeFiles/bench_reliability_mc.dir/bench_reliability_mc.cpp.o.d"
+  "bench_reliability_mc"
+  "bench_reliability_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reliability_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

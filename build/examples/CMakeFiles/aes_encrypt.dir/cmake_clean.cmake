@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_encrypt.dir/aes_encrypt.cpp.o"
+  "CMakeFiles/aes_encrypt.dir/aes_encrypt.cpp.o.d"
+  "aes_encrypt"
+  "aes_encrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_encrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

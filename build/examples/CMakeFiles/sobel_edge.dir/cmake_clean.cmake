@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sobel_edge.dir/sobel_edge.cpp.o"
+  "CMakeFiles/sobel_edge.dir/sobel_edge.cpp.o.d"
+  "sobel_edge"
+  "sobel_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sobel_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

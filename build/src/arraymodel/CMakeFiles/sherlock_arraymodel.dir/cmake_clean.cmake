@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_arraymodel.dir/array_model.cpp.o"
+  "CMakeFiles/sherlock_arraymodel.dir/array_model.cpp.o.d"
+  "libsherlock_arraymodel.a"
+  "libsherlock_arraymodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_arraymodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sherlock_arraymodel.
+# This may be replaced when dependencies are built.

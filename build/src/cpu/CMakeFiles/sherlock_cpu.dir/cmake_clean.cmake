@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_cpu.dir/cpu_model.cpp.o"
+  "CMakeFiles/sherlock_cpu.dir/cpu_model.cpp.o.d"
+  "libsherlock_cpu.a"
+  "libsherlock_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_device.dir/reliability.cpp.o"
+  "CMakeFiles/sherlock_device.dir/reliability.cpp.o.d"
+  "CMakeFiles/sherlock_device.dir/technology.cpp.o"
+  "CMakeFiles/sherlock_device.dir/technology.cpp.o.d"
+  "libsherlock_device.a"
+  "libsherlock_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

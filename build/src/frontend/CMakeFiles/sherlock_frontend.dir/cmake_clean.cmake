@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/sherlock_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/sherlock_frontend.dir/lowering.cpp.o"
+  "CMakeFiles/sherlock_frontend.dir/lowering.cpp.o.d"
+  "CMakeFiles/sherlock_frontend.dir/parser.cpp.o"
+  "CMakeFiles/sherlock_frontend.dir/parser.cpp.o.d"
+  "libsherlock_frontend.a"
+  "libsherlock_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

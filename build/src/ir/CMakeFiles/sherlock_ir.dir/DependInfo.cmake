@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis.cpp" "src/ir/CMakeFiles/sherlock_ir.dir/analysis.cpp.o" "gcc" "src/ir/CMakeFiles/sherlock_ir.dir/analysis.cpp.o.d"
+  "/root/repo/src/ir/dot.cpp" "src/ir/CMakeFiles/sherlock_ir.dir/dot.cpp.o" "gcc" "src/ir/CMakeFiles/sherlock_ir.dir/dot.cpp.o.d"
+  "/root/repo/src/ir/evaluator.cpp" "src/ir/CMakeFiles/sherlock_ir.dir/evaluator.cpp.o" "gcc" "src/ir/CMakeFiles/sherlock_ir.dir/evaluator.cpp.o.d"
+  "/root/repo/src/ir/graph.cpp" "src/ir/CMakeFiles/sherlock_ir.dir/graph.cpp.o" "gcc" "src/ir/CMakeFiles/sherlock_ir.dir/graph.cpp.o.d"
+  "/root/repo/src/ir/ops.cpp" "src/ir/CMakeFiles/sherlock_ir.dir/ops.cpp.o" "gcc" "src/ir/CMakeFiles/sherlock_ir.dir/ops.cpp.o.d"
+  "/root/repo/src/ir/serialize.cpp" "src/ir/CMakeFiles/sherlock_ir.dir/serialize.cpp.o" "gcc" "src/ir/CMakeFiles/sherlock_ir.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sherlock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_ir.dir/analysis.cpp.o"
+  "CMakeFiles/sherlock_ir.dir/analysis.cpp.o.d"
+  "CMakeFiles/sherlock_ir.dir/dot.cpp.o"
+  "CMakeFiles/sherlock_ir.dir/dot.cpp.o.d"
+  "CMakeFiles/sherlock_ir.dir/evaluator.cpp.o"
+  "CMakeFiles/sherlock_ir.dir/evaluator.cpp.o.d"
+  "CMakeFiles/sherlock_ir.dir/graph.cpp.o"
+  "CMakeFiles/sherlock_ir.dir/graph.cpp.o.d"
+  "CMakeFiles/sherlock_ir.dir/ops.cpp.o"
+  "CMakeFiles/sherlock_ir.dir/ops.cpp.o.d"
+  "CMakeFiles/sherlock_ir.dir/serialize.cpp.o"
+  "CMakeFiles/sherlock_ir.dir/serialize.cpp.o.d"
+  "libsherlock_ir.a"
+  "libsherlock_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_isa.dir/instruction.cpp.o"
+  "CMakeFiles/sherlock_isa.dir/instruction.cpp.o.d"
+  "libsherlock_isa.a"
+  "libsherlock_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sherlock_isa.
+# This may be replaced when dependencies are built.

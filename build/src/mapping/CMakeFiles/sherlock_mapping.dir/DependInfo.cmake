@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/clustering.cpp" "src/mapping/CMakeFiles/sherlock_mapping.dir/clustering.cpp.o" "gcc" "src/mapping/CMakeFiles/sherlock_mapping.dir/clustering.cpp.o.d"
+  "/root/repo/src/mapping/codegen.cpp" "src/mapping/CMakeFiles/sherlock_mapping.dir/codegen.cpp.o" "gcc" "src/mapping/CMakeFiles/sherlock_mapping.dir/codegen.cpp.o.d"
+  "/root/repo/src/mapping/layout.cpp" "src/mapping/CMakeFiles/sherlock_mapping.dir/layout.cpp.o" "gcc" "src/mapping/CMakeFiles/sherlock_mapping.dir/layout.cpp.o.d"
+  "/root/repo/src/mapping/naive_mapper.cpp" "src/mapping/CMakeFiles/sherlock_mapping.dir/naive_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/sherlock_mapping.dir/naive_mapper.cpp.o.d"
+  "/root/repo/src/mapping/opt_mapper.cpp" "src/mapping/CMakeFiles/sherlock_mapping.dir/opt_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/sherlock_mapping.dir/opt_mapper.cpp.o.d"
+  "/root/repo/src/mapping/program_analysis.cpp" "src/mapping/CMakeFiles/sherlock_mapping.dir/program_analysis.cpp.o" "gcc" "src/mapping/CMakeFiles/sherlock_mapping.dir/program_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sherlock_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sherlock_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arraymodel/CMakeFiles/sherlock_arraymodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sherlock_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sherlock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_mapping.dir/clustering.cpp.o"
+  "CMakeFiles/sherlock_mapping.dir/clustering.cpp.o.d"
+  "CMakeFiles/sherlock_mapping.dir/codegen.cpp.o"
+  "CMakeFiles/sherlock_mapping.dir/codegen.cpp.o.d"
+  "CMakeFiles/sherlock_mapping.dir/layout.cpp.o"
+  "CMakeFiles/sherlock_mapping.dir/layout.cpp.o.d"
+  "CMakeFiles/sherlock_mapping.dir/naive_mapper.cpp.o"
+  "CMakeFiles/sherlock_mapping.dir/naive_mapper.cpp.o.d"
+  "CMakeFiles/sherlock_mapping.dir/opt_mapper.cpp.o"
+  "CMakeFiles/sherlock_mapping.dir/opt_mapper.cpp.o.d"
+  "CMakeFiles/sherlock_mapping.dir/program_analysis.cpp.o"
+  "CMakeFiles/sherlock_mapping.dir/program_analysis.cpp.o.d"
+  "libsherlock_mapping.a"
+  "libsherlock_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

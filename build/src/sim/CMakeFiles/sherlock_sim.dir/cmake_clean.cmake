@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sherlock_sim.dir/simulator.cpp.o.d"
+  "libsherlock_sim.a"
+  "libsherlock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

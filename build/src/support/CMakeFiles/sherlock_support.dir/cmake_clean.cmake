@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_support.dir/bitvector.cpp.o"
+  "CMakeFiles/sherlock_support.dir/bitvector.cpp.o.d"
+  "CMakeFiles/sherlock_support.dir/stats.cpp.o"
+  "CMakeFiles/sherlock_support.dir/stats.cpp.o.d"
+  "CMakeFiles/sherlock_support.dir/table.cpp.o"
+  "CMakeFiles/sherlock_support.dir/table.cpp.o.d"
+  "libsherlock_support.a"
+  "libsherlock_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

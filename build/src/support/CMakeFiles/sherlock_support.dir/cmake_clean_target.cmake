@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsherlock_support.a"
+)

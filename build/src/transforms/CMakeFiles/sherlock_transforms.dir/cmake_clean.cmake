@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_transforms.dir/nand_lowering.cpp.o"
+  "CMakeFiles/sherlock_transforms.dir/nand_lowering.cpp.o.d"
+  "CMakeFiles/sherlock_transforms.dir/passes.cpp.o"
+  "CMakeFiles/sherlock_transforms.dir/passes.cpp.o.d"
+  "CMakeFiles/sherlock_transforms.dir/rewriter.cpp.o"
+  "CMakeFiles/sherlock_transforms.dir/rewriter.cpp.o.d"
+  "CMakeFiles/sherlock_transforms.dir/substitution.cpp.o"
+  "CMakeFiles/sherlock_transforms.dir/substitution.cpp.o.d"
+  "libsherlock_transforms.a"
+  "libsherlock_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/aes.cpp" "src/workloads/CMakeFiles/sherlock_workloads.dir/aes.cpp.o" "gcc" "src/workloads/CMakeFiles/sherlock_workloads.dir/aes.cpp.o.d"
+  "/root/repo/src/workloads/aes_math.cpp" "src/workloads/CMakeFiles/sherlock_workloads.dir/aes_math.cpp.o" "gcc" "src/workloads/CMakeFiles/sherlock_workloads.dir/aes_math.cpp.o.d"
+  "/root/repo/src/workloads/bitslice_builder.cpp" "src/workloads/CMakeFiles/sherlock_workloads.dir/bitslice_builder.cpp.o" "gcc" "src/workloads/CMakeFiles/sherlock_workloads.dir/bitslice_builder.cpp.o.d"
+  "/root/repo/src/workloads/bitweaving.cpp" "src/workloads/CMakeFiles/sherlock_workloads.dir/bitweaving.cpp.o" "gcc" "src/workloads/CMakeFiles/sherlock_workloads.dir/bitweaving.cpp.o.d"
+  "/root/repo/src/workloads/random_dag.cpp" "src/workloads/CMakeFiles/sherlock_workloads.dir/random_dag.cpp.o" "gcc" "src/workloads/CMakeFiles/sherlock_workloads.dir/random_dag.cpp.o.d"
+  "/root/repo/src/workloads/sobel.cpp" "src/workloads/CMakeFiles/sherlock_workloads.dir/sobel.cpp.o" "gcc" "src/workloads/CMakeFiles/sherlock_workloads.dir/sobel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sherlock_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sherlock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_workloads.dir/aes.cpp.o"
+  "CMakeFiles/sherlock_workloads.dir/aes.cpp.o.d"
+  "CMakeFiles/sherlock_workloads.dir/aes_math.cpp.o"
+  "CMakeFiles/sherlock_workloads.dir/aes_math.cpp.o.d"
+  "CMakeFiles/sherlock_workloads.dir/bitslice_builder.cpp.o"
+  "CMakeFiles/sherlock_workloads.dir/bitslice_builder.cpp.o.d"
+  "CMakeFiles/sherlock_workloads.dir/bitweaving.cpp.o"
+  "CMakeFiles/sherlock_workloads.dir/bitweaving.cpp.o.d"
+  "CMakeFiles/sherlock_workloads.dir/random_dag.cpp.o"
+  "CMakeFiles/sherlock_workloads.dir/random_dag.cpp.o.d"
+  "CMakeFiles/sherlock_workloads.dir/sobel.cpp.o"
+  "CMakeFiles/sherlock_workloads.dir/sobel.cpp.o.d"
+  "libsherlock_workloads.a"
+  "libsherlock_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitslice_test.dir/bitslice_test.cpp.o"
+  "CMakeFiles/bitslice_test.dir/bitslice_test.cpp.o.d"
+  "bitslice_test"
+  "bitslice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitslice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu_test.cpp" "tests/CMakeFiles/cpu_test.dir/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/cpu_test.dir/cpu_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sherlock_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sherlock_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/sherlock_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/sherlock_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sherlock_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/arraymodel/CMakeFiles/sherlock_arraymodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sherlock_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/sherlock_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sherlock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sherlock_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sherlock_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

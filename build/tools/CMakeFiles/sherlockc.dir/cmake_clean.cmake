@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlockc.dir/sherlockc.cpp.o"
+  "CMakeFiles/sherlockc.dir/sherlockc.cpp.o.d"
+  "sherlockc"
+  "sherlockc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlockc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sherlockc.
+# This may be replaced when dependencies are built.
