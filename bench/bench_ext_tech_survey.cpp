@@ -2,10 +2,11 @@
 // survey of the modeled NVM technologies (ReRAM, STT-MRAM, and PCM) —
 // array-level latency/energy/area from the NVSim-stand-in model, the
 // sensing reliability at the usual activation counts, and the optimized
-// mapping's end-to-end results per technology on each workload.
+// mapping's end-to-end results per technology on each workload (run
+// concurrently through the sweep harness).
 #include <iostream>
 
-#include "bench/common.h"
+#include "bench/sweep.h"
 #include "device/reliability.h"
 #include "support/table.h"
 
@@ -41,17 +42,26 @@ int main() {
   dev.print(std::cout);
   std::cout << '\n';
 
-  Table app("Optimized mapping per technology (512x512, MRA = 2)");
-  app.setHeader({"Benchmark", "Tech", "latency (us)", "energy (uJ)",
-                 "P_app", "verified"});
-  for (const char* workload : kWorkloads) {
-    ir::Graph g = makeWorkload(workload);
+  std::vector<SweepJob> jobs;
+  for (const char* workload : kWorkloads)
     for (auto tech : techs) {
       RunConfig cfg;
       cfg.tech = tech;
       cfg.arrayDim = 512;
       cfg.strategy = mapping::Strategy::Optimized;
-      RunResult r = runPipeline(g, cfg);
+      jobs.push_back({workload, cfg});
+    }
+  // The survey intentionally reports unverified configurations too, so
+  // runSweep must not abort on them.
+  std::vector<RunResult> results = runSweep(jobs, /*requireVerified=*/false);
+
+  Table app("Optimized mapping per technology (512x512, MRA = 2)");
+  app.setHeader({"Benchmark", "Tech", "latency (us)", "energy (uJ)",
+                 "P_app", "verified"});
+  size_t idx = 0;
+  for (const char* workload : kWorkloads) {
+    for (auto tech : techs) {
+      const RunResult& r = results[idx++];
       app.addRow({workload, technologyName(tech),
                   Table::num(r.sim.latencyUs(), 2),
                   Table::num(r.sim.energyUj(), 2),

@@ -2,23 +2,27 @@
 // rows are activated during a scouting read. The paper plots the
 // STT-MRAM resistance distributions for 2 vs 4 activated rows; we print
 // the resulting decision-failure probability P_DF per sensing class and
-// technology as the activated-row count grows.
+// technology as the activated-row count grows. Each technology's row
+// group is computed concurrently (the shared-pool no-op case when
+// SHERLOCK_THREADS=1).
 #include <iostream>
+#include <vector>
 
 #include "device/reliability.h"
 #include "device/technology.h"
+#include "support/parallel.h"
 #include "support/table.h"
 
 using namespace sherlock;
 using namespace sherlock::device;
 
 int main() {
-  Table t("Fig. 2(b) — decision-failure probability vs activated rows");
-  t.setHeader({"Tech", "sense op", "r=2", "r=3", "r=4", "r=5", "r=6",
-               "r=7", "r=8"});
-  for (auto tech :
-       {Technology::SttMram, Technology::ReRam, Technology::Pcm}) {
+  const std::vector<Technology> techs = {Technology::SttMram,
+                                         Technology::ReRam, Technology::Pcm};
+
+  auto groups = parallelMap(techs, [](Technology tech) {
     TechnologyParams p = TechnologyParams::forTechnology(tech);
+    std::vector<std::vector<std::string>> rows;
     for (auto [kind, name] :
          {std::pair{SenseKind::And, "AND/NAND"},
           std::pair{SenseKind::Or, "OR/NOR"},
@@ -26,12 +30,20 @@ int main() {
       std::vector<std::string> row{p.name, name};
       for (int r = 2; r <= p.maxActivatedRows; ++r)
         row.push_back(Table::sci(decisionFailureProbability(p, kind, r), 2));
-      t.addRow(row);
+      rows.push_back(std::move(row));
     }
-    t.addRow({p.name, "plain read",
-              Table::sci(decisionFailureProbability(p, SenseKind::PlainRead,
-                                                    1),
-                         2)});
+    rows.push_back(
+        {p.name, "plain read",
+         Table::sci(decisionFailureProbability(p, SenseKind::PlainRead, 1),
+                    2)});
+    return rows;
+  });
+
+  Table t("Fig. 2(b) — decision-failure probability vs activated rows");
+  t.setHeader({"Tech", "sense op", "r=2", "r=3", "r=4", "r=5", "r=6",
+               "r=7", "r=8"});
+  for (const auto& rows : groups) {
+    for (const auto& row : rows) t.addRow(row);
     t.addSeparator();
   }
   t.print(std::cout);

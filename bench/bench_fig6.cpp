@@ -9,28 +9,29 @@
 // data points. The naive flow picks merges statically (near-linear
 // curve); the optimized flow's choices interact with mapping and
 // instruction merging (irregular curve, better P_app at equal latency).
+//
+// Both figures' 20 configurations run concurrently through one sweep.
 #include <iostream>
 
-#include "bench/common.h"
+#include "bench/sweep.h"
 #include "support/table.h"
 
 using namespace sherlock;
 using namespace sherlock::bench;
 
 int main() {
-  ir::Graph g = makeWorkload("Bitweaving");
+  const std::tuple<device::Technology, bool, const char*> figures[] = {
+      {device::Technology::ReRam, false,
+       "Fig. 6(a) — ReRAM, native scouting ops"},
+      {device::Technology::SttMram, true,
+       "Fig. 6(b) — STT-MRAM, NAND-based XOR/OR"}};
+  const double fractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
 
-  for (auto [tech, lowered, title] :
-       {std::tuple{device::Technology::ReRam, false,
-                   "Fig. 6(a) — ReRAM, native scouting ops"},
-        std::tuple{device::Technology::SttMram, true,
-                   "Fig. 6(b) — STT-MRAM, NAND-based XOR/OR"}}) {
-    Table t(title);
-    t.setHeader({"mapping", "merge budget", "MRA>2 ops", "latency (us)",
-                 "P_app", "CIM ops"});
+  std::vector<SweepJob> jobs;
+  for (auto [tech, lowered, title] : figures)
     for (auto strategy :
-         {mapping::Strategy::Naive, mapping::Strategy::Optimized}) {
-      for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+         {mapping::Strategy::Naive, mapping::Strategy::Optimized})
+      for (double fraction : fractions) {
         RunConfig cfg;
         cfg.tech = tech;
         cfg.arrayDim = 512;
@@ -38,8 +39,19 @@ int main() {
         cfg.mra = fraction == 0.0 ? 2 : 4;
         cfg.mraFraction = fraction;
         cfg.nandLowered = lowered;
-        RunResult r = runPipeline(g, cfg);
-        if (!r.sim.verified) throw Error("verification failed");
+        jobs.push_back({"Bitweaving", cfg});
+      }
+  std::vector<RunResult> results = runSweep(jobs);
+
+  size_t idx = 0;
+  for (auto [tech, lowered, title] : figures) {
+    Table t(title);
+    t.setHeader({"mapping", "merge budget", "MRA>2 ops", "latency (us)",
+                 "P_app", "CIM ops"});
+    for (auto strategy :
+         {mapping::Strategy::Naive, mapping::Strategy::Optimized}) {
+      for (double fraction : fractions) {
+        const RunResult& r = results[idx++];
         t.addRow({strategy == mapping::Strategy::Naive ? "naive" : "opt",
                   Table::num(100 * fraction, 0) + "%",
                   Table::num(100 * r.substitution.wideFraction(), 1) + "%",

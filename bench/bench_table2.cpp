@@ -7,10 +7,15 @@
 // on our analytic models (opt beats naive; MRA >= 2 helps the naive flow
 // ~1.3x; smaller arrays are slower; the write-heavy AES kernel is
 // technology-sensitive while the scan kernels are less so).
+//
+// All 48 configurations are compiled and simulated concurrently through
+// the sweep harness; the job list is built in table order, so the output
+// is identical for any SHERLOCK_THREADS value.
 #include <iostream>
 #include <map>
 
-#include "bench/common.h"
+#include "bench/sweep.h"
+#include "support/stats.h"
 #include "support/table.h"
 
 using namespace sherlock;
@@ -30,11 +35,11 @@ struct Key {
 }  // namespace
 
 int main() {
-  // Run every configuration once.
-  std::map<Key, RunResult> results;
+  // Enumerate every configuration once, in deterministic order.
+  std::vector<SweepJob> jobs;
+  std::vector<Key> keys;
   for (auto tech : {device::Technology::ReRam, device::Technology::SttMram})
-    for (const char* workload : kWorkloads) {
-      ir::Graph g = makeWorkload(workload);
+    for (const char* workload : kWorkloads)
       for (auto strategy :
            {mapping::Strategy::Naive, mapping::Strategy::Optimized})
         for (int dim : {1024, 512})
@@ -44,12 +49,14 @@ int main() {
             cfg.arrayDim = dim;
             cfg.strategy = strategy;
             cfg.mra = mra;
-            RunResult r = runPipeline(g, cfg);
-            if (!r.sim.verified) throw Error("verification failed");
-            results.emplace(Key{tech, workload, strategy, dim, mra},
-                            std::move(r));
+            jobs.push_back({workload, cfg});
+            keys.push_back(Key{tech, workload, strategy, dim, mra});
           }
-    }
+
+  std::vector<RunResult> swept = runSweep(jobs);
+  std::map<Key, RunResult> results;
+  for (size_t i = 0; i < keys.size(); ++i)
+    results.emplace(keys[i], std::move(swept[i]));
 
   Table table(
       "Table 2 — latency and energy across sizes, technologies, mappings");
@@ -82,6 +89,10 @@ int main() {
   summary.setHeader({"Tech", "Benchmark", "latency gain 1024",
                      "latency gain 512", "energy gain 1024",
                      "energy gain 512", "naive mra>2 speedup"});
+  // Per-column gain ratios for the geomean rows. geomeanSafe floors
+  // degenerate (zero) ratios instead of throwing, so one pathological
+  // configuration cannot abort the whole table.
+  std::vector<std::vector<double>> gains(5);
   for (auto tech : {device::Technology::ReRam, device::Technology::SttMram})
     for (const char* workload : kWorkloads) {
       auto lat = [&](mapping::Strategy s, int dim, int mra) {
@@ -91,14 +102,23 @@ int main() {
         return results.at(Key{tech, workload, s, dim, mra}).sim.energyUj();
       };
       using enum mapping::Strategy;
-      summary.addRow(
-          {technologyName(tech), workload,
-           Table::num(lat(Naive, 1024, 2) / lat(Optimized, 1024, 2), 2),
-           Table::num(lat(Naive, 512, 2) / lat(Optimized, 512, 2), 2),
-           Table::num(en(Naive, 1024, 2) / en(Optimized, 1024, 2), 2),
-           Table::num(en(Naive, 512, 2) / en(Optimized, 512, 2), 2),
-           Table::num(lat(Naive, 1024, 2) / lat(Naive, 1024, 4), 2)});
+      const double cols[5] = {
+          lat(Naive, 1024, 2) / lat(Optimized, 1024, 2),
+          lat(Naive, 512, 2) / lat(Optimized, 512, 2),
+          en(Naive, 1024, 2) / en(Optimized, 1024, 2),
+          en(Naive, 512, 2) / en(Optimized, 512, 2),
+          lat(Naive, 1024, 2) / lat(Naive, 1024, 4)};
+      for (int i = 0; i < 5; ++i) gains[i].push_back(cols[i]);
+      summary.addRow({technologyName(tech), workload, Table::num(cols[0], 2),
+                      Table::num(cols[1], 2), Table::num(cols[2], 2),
+                      Table::num(cols[3], 2), Table::num(cols[4], 2)});
     }
+  summary.addSeparator();
+  summary.addRow({"geomean", "(all)", Table::num(geomeanSafe(gains[0]), 2),
+                  Table::num(geomeanSafe(gains[1]), 2),
+                  Table::num(geomeanSafe(gains[2]), 2),
+                  Table::num(geomeanSafe(gains[3]), 2),
+                  Table::num(geomeanSafe(gains[4]), 2)});
   summary.print(std::cout);
   return 0;
 }

@@ -2,6 +2,13 @@
 // instances, target construction, and a one-call pipeline runner that
 // compiles and simulates a configuration and returns everything the
 // tables need.
+//
+// Concurrency contract: runPipeline is a pure function of (graph,
+// config) — it never mutates the input graph or any global state, and
+// all stochastic behavior inside the pipeline is seeded from the config.
+// Multiple runPipeline calls may therefore execute concurrently on a
+// shared const graph; bench/sweep.h builds the parallel sweep harness on
+// exactly this guarantee.
 #pragma once
 
 #include <string>

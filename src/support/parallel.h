@@ -1,0 +1,137 @@
+// Bounded thread pool and data-parallel helpers for the benchmark
+// harnesses and tools.
+//
+// Design goals (in priority order):
+//  * Determinism: parallelFor/parallelMap only choose *when* an index is
+//    processed, never *what* it computes. Callers must derive all
+//    stochastic state from the iteration index (see splitmix64 /
+//    deriveSeed below) so an 8-thread run is bit-identical to a serial
+//    one.
+//  * Simplicity: a fixed set of workers pulls indices from one atomic
+//    counter — no task queue, no work stealing. Sweep jobs are coarse
+//    (milliseconds to seconds of compile + simulate), so contention on
+//    the counter is irrelevant.
+//  * Safety: the first exception thrown by any iteration cancels the
+//    remaining ones and is rethrown on the calling thread. Nested
+//    parallelFor calls are flattened — the inner loop runs serially on
+//    the worker it lands on, so the pool can never deadlock on itself.
+//
+// The worker count of the shared pool comes from the SHERLOCK_THREADS
+// environment variable when set (a positive integer; 1 disables
+// parallelism entirely), otherwise from std::thread::hardware_concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sherlock {
+
+/// splitmix64 mixing step (Steele, Lea & Flood). Statistically strong
+/// enough to decorrelate adjacent counters, which is exactly the
+/// counter-based seeding scheme the Monte-Carlo benches rely on.
+inline uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed for trial/job `index` from a base seed. Pure function
+/// of (base, index): any execution order — serial, parallel, resumed —
+/// yields the same per-trial RNG streams, and distinct indices yield
+/// statistically independent streams.
+inline uint64_t deriveSeed(uint64_t base, uint64_t index) {
+  return splitmix64(base ^ splitmix64(index));
+}
+
+/// A bounded, work-stealing-free thread pool. `threads` is the total
+/// degree of parallelism including the calling thread: a pool of size N
+/// keeps N - 1 workers and the caller participates in every parallelFor,
+/// so size 1 means strictly serial execution with zero spawned threads.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects the default (SHERLOCK_THREADS or hardware).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + calling thread), always >= 1.
+  int threadCount() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(0) .. body(n - 1), distributing indices over the pool.
+  /// Blocks until every iteration finished or an iteration threw; in the
+  /// latter case the remaining indices are cancelled and the first
+  /// exception (in completion order) is rethrown here. Reentrant calls
+  /// from inside a body are flattened to serial execution.
+  void parallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  /// Resolved default worker count: SHERLOCK_THREADS if set and valid,
+  /// else std::thread::hardware_concurrency (at least 1).
+  static int defaultThreads();
+
+  /// The process-wide shared pool, created on first use with
+  /// defaultThreads() workers.
+  static ThreadPool& global();
+
+ private:
+  struct Batch {
+    int64_t n = 0;
+    const std::function<void(int64_t)>* body = nullptr;
+    std::atomic<int64_t> next{0};
+    int64_t active = 0;  // workers currently in the batch; guarded by mu_
+    std::exception_ptr error;  // guarded by mu_
+  };
+
+  void workerLoop();
+  void runIterations(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable workReady_;
+  std::condition_variable workDone_;
+  Batch* batch_ = nullptr;  // guarded by mu_
+  uint64_t generation_ = 0;  // guarded by mu_; bumped per batch
+  bool shutdown_ = false;  // guarded by mu_
+};
+
+/// parallelFor on the shared global pool.
+inline void parallelFor(int64_t n, const std::function<void(int64_t)>& body) {
+  ThreadPool::global().parallelFor(n, body);
+}
+
+/// Maps `fn` over `items` on `pool`, returning results in input order
+/// regardless of completion order. `fn` must be safe to invoke
+/// concurrently; results are moved into place, so the result type only
+/// needs to be movable.
+template <typename T, typename F>
+auto parallelMap(ThreadPool& pool, const std::vector<T>& items, F&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<F&, const T&>>> {
+  using R = std::decay_t<std::invoke_result_t<F&, const T&>>;
+  std::vector<std::optional<R>> slots(items.size());
+  pool.parallelFor(static_cast<int64_t>(items.size()), [&](int64_t i) {
+    slots[static_cast<size_t>(i)].emplace(
+        fn(items[static_cast<size_t>(i)]));
+  });
+  std::vector<R> out;
+  out.reserve(items.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+/// parallelMap on the shared global pool.
+template <typename T, typename F>
+auto parallelMap(const std::vector<T>& items, F&& fn) {
+  return parallelMap(ThreadPool::global(), items, std::forward<F>(fn));
+}
+
+}  // namespace sherlock

@@ -24,6 +24,14 @@ double geomean(const std::vector<double>& xs) {
   return std::exp(s / static_cast<double>(xs.size()));
 }
 
+double geomeanSafe(const std::vector<double>& xs, double floor) {
+  checkArg(floor > 0.0, "geomeanSafe floor must be positive");
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += std::log(std::max(x, floor));
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
 double stddev(const std::vector<double>& xs) {
   if (xs.size() < 2) return 0.0;
   double m = mean(xs);

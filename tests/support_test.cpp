@@ -1,7 +1,14 @@
-// Unit tests for the support library: bit vectors, RNG, statistics, tables.
+// Unit tests for the support library: bit vectors, RNG, statistics,
+// tables, and the thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+
 #include "support/bitvector.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -90,11 +97,155 @@ TEST(Stats, MeanGeomeanStddev) {
   EXPECT_THROW(geomean({1.0, -1.0}), Error);
 }
 
+TEST(Stats, GeomeanEdgeCases) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({3.5}), 3.5);
+  EXPECT_THROW(geomean({0.0}), Error);
+  EXPECT_THROW(geomean({2.0, 0.0, 4.0}), Error);
+}
+
+TEST(Stats, GeomeanSafeFloorsNonPositiveInputs) {
+  // Strictly positive inputs match geomean exactly.
+  std::vector<double> xs{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomeanSafe(xs), geomean(xs));
+  // Zero and negative entries are floored instead of throwing.
+  EXPECT_NEAR(geomeanSafe({4.0, 0.0}, 0.25), 1.0, 1e-12);
+  EXPECT_NEAR(geomeanSafe({4.0, -7.0}, 0.25), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomeanSafe({}), 0.0);
+  EXPECT_GT(geomeanSafe({1.0, 0.0}), 0.0);
+  EXPECT_THROW(geomeanSafe({1.0}, 0.0), Error);
+  EXPECT_THROW(geomeanSafe({1.0}, -1.0), Error);
+}
+
 TEST(Stats, Quantile) {
   std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
   EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
   EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, QuantileEdgeCases) {
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 1.0), 42.0);
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile({1.0, 2.0}, -0.1), Error);
+  EXPECT_THROW(quantile({1.0, 2.0}, 1.1), Error);
+}
+
+TEST(Parallel, SplitMixDeterministicAndDecorrelated) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+  EXPECT_EQ(deriveSeed(7, 0), deriveSeed(7, 0));
+  // Adjacent trial indices and adjacent base seeds both give distinct
+  // streams.
+  EXPECT_NE(deriveSeed(7, 0), deriveSeed(7, 1));
+  EXPECT_NE(deriveSeed(7, 0), deriveSeed(8, 0));
+}
+
+TEST(Parallel, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallelFor(kN, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, SerialPoolRunsInOrderOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threadCount(), 1);
+  std::vector<int64_t> order;
+  const std::thread::id self = std::this_thread::get_id();
+  pool.parallelFor(16, [&](int64_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), self);
+    order.push_back(i);
+  });
+  std::vector<int64_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallelFor(100,
+                       [&](int64_t i) {
+                         if (i == 37) throw Error("iteration 37 failed");
+                       }),
+      Error);
+  // The pool survives a failed batch and keeps scheduling new ones.
+  std::atomic<int64_t> sum{0};
+  pool.parallelFor(10, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(Parallel, ExceptionCancelsUnclaimedIterations) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallelFor(100000,
+                                [&](int64_t) {
+                                  executed.fetch_add(1);
+                                  throw Error("fail fast");
+                                }),
+               Error);
+  // At most one claim per pool lane can still be in flight when the
+  // cancellation lands.
+  EXPECT_LE(executed.load(), pool.threadCount());
+}
+
+TEST(Parallel, NestedParallelForFlattensWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr int64_t kOuter = 8, kInner = 8;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallelFor(kOuter, [&](int64_t i) {
+    const std::thread::id outerThread = std::this_thread::get_id();
+    pool.parallelFor(kInner, [&](int64_t j) {
+      // The flattened inner loop must stay on the worker it landed on.
+      EXPECT_EQ(std::this_thread::get_id(), outerThread);
+      hits[i * kInner + j].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ParallelMapPreservesInputOrder) {
+  ThreadPool pool(8);
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), 0);
+  auto squares =
+      parallelMap(pool, items, [](const int& x) { return x * x; });
+  ASSERT_EQ(squares.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i)
+    EXPECT_EQ(squares[i], static_cast<int>(i * i));
+}
+
+TEST(Parallel, ParallelMapMatchesSerialBitExactly) {
+  // The determinism contract: identical results for any thread count.
+  std::vector<uint64_t> trials(128);
+  std::iota(trials.begin(), trials.end(), 0);
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    return parallelMap(pool, trials, [](const uint64_t& t) {
+      Rng rng(deriveSeed(0xabcdef, t));
+      uint64_t acc = 0;
+      for (int i = 0; i < 100; ++i) acc ^= rng();
+      return acc;
+    });
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(Parallel, DefaultThreadsHonorsEnvOverride) {
+  ::setenv("SHERLOCK_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultThreads(), 3);
+  ThreadPool pool;  // picks up the override
+  EXPECT_EQ(pool.threadCount(), 3);
+  ::setenv("SHERLOCK_THREADS", "garbage", 1);
+  EXPECT_GE(ThreadPool::defaultThreads(), 1);
+  ::setenv("SHERLOCK_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::defaultThreads(), 1);
+  ::unsetenv("SHERLOCK_THREADS");
+  EXPECT_GE(ThreadPool::defaultThreads(), 1);
 }
 
 TEST(Stats, NormalTailAccuracy) {

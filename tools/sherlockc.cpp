@@ -1,8 +1,8 @@
 // sherlockc — the Sherlock command-line compiler driver.
 //
-// Compiles a kernel written in the Sherlock kernel language (see
+// Compiles kernels written in the Sherlock kernel language (see
 // src/frontend/parser.h for the grammar) down to CIM instructions and
-// optionally simulates it:
+// optionally simulates them:
 //
 //   sherlockc kernel.sk                      # print CIM assembly
 //   sherlockc --emit dot kernel.sk           # DAG in graphviz format
@@ -10,10 +10,17 @@
 //   sherlockc --emit sim kernel.sk           # simulate (random inputs)
 //   sherlockc --target 1024 --tech stt --strategy naive kernel.sk
 //   sherlockc --mra 4 --nand kernel.sk       # MRA merging + NAND lowering
+//   sherlockc --jobs 8 a.sk b.sk c.sk        # batch-compile in parallel
+//
+// With multiple input files the outputs are printed in command-line
+// order, each under a `# ==> file <==` banner, regardless of which job
+// finishes first; --jobs bounds the worker count (default: the
+// SHERLOCK_THREADS / hardware default).
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "frontend/lowering.h"
 #include "ir/analysis.h"
@@ -22,6 +29,7 @@
 #include "mapping/compiler.h"
 #include "mapping/program_analysis.h"
 #include "sim/simulator.h"
+#include "support/parallel.h"
 #include "transforms/nand_lowering.h"
 #include "transforms/passes.h"
 #include "transforms/substitution.h"
@@ -31,7 +39,7 @@ using namespace sherlock;
 namespace {
 
 struct Options {
-  std::string inputFile;
+  std::vector<std::string> inputFiles;
   std::string emit = "asm";  // asm | dot | dag | stats | sim
   int targetDim = 512;
   std::string tech = "reram";
@@ -40,12 +48,13 @@ struct Options {
   double fraction = 1.0;
   bool nandLower = false;
   bool aggressive = false;  // -O: inverter folding pipeline
+  int jobs = 0;             // 0: SHERLOCK_THREADS / hardware default
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " [options] <kernel.sk>\n"
+      << " [options] <kernel.sk> [more.sk ...]\n"
          "  --emit asm|dot|dag|stats|sim  output kind (default asm)\n"
          "  --target <N>               square array dimension (default 512)\n"
          "  --tech reram|stt|pcm       NVM technology (default reram)\n"
@@ -54,6 +63,9 @@ struct Options {
          "                             node substitution (default 2)\n"
          "  --fraction <f>             substitution budget in [0,1]\n"
          "  --nand                     lower XOR/OR to NAND form first\n"
+         "  --jobs <N>                 compile input files with N parallel\n"
+         "                             workers (default: SHERLOCK_THREADS\n"
+         "                             or hardware concurrency)\n"
          "  -O                         aggressive DAG optimization\n"
          "                             (inverter folding / De Morgan)\n";
   std::exit(2);
@@ -67,20 +79,44 @@ Options parseArgs(int argc, char** argv) {
       if (++i >= argc) usage(argv[0]);
       return argv[i];
     };
+    auto nextInt = [&]() -> int {
+      std::string v = next();
+      try {
+        size_t pos = 0;
+        int parsed = std::stoi(v, &pos);
+        if (pos == v.size()) return parsed;
+      } catch (const std::exception&) {
+      }
+      std::cerr << "sherlockc: error: " << arg << " expects an integer, got '"
+                << v << "'\n";
+      usage(argv[0]);
+    };
+    auto nextDouble = [&]() -> double {
+      std::string v = next();
+      try {
+        size_t pos = 0;
+        double parsed = std::stod(v, &pos);
+        if (pos == v.size()) return parsed;
+      } catch (const std::exception&) {
+      }
+      std::cerr << "sherlockc: error: " << arg << " expects a number, got '"
+                << v << "'\n";
+      usage(argv[0]);
+    };
     if (arg == "--emit") o.emit = next();
-    else if (arg == "--target") o.targetDim = std::stoi(next());
+    else if (arg == "--target") o.targetDim = nextInt();
     else if (arg == "--tech") o.tech = next();
     else if (arg == "--strategy") o.strategy = next();
-    else if (arg == "--mra") o.mra = std::stoi(next());
-    else if (arg == "--fraction") o.fraction = std::stod(next());
+    else if (arg == "--mra") o.mra = nextInt();
+    else if (arg == "--fraction") o.fraction = nextDouble();
+    else if (arg == "--jobs") o.jobs = nextInt();
     else if (arg == "--nand") o.nandLower = true;
     else if (arg == "-O") o.aggressive = true;
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
-    else if (o.inputFile.empty()) o.inputFile = arg;
-    else usage(argv[0]);
+    else o.inputFiles.push_back(arg);
   }
-  if (o.inputFile.empty()) usage(argv[0]);
+  if (o.inputFiles.empty()) usage(argv[0]);
   return o;
 }
 
@@ -91,98 +127,125 @@ device::TechnologyParams techFor(const std::string& name) {
   throw Error(strCat("unknown technology '", name, "'"));
 }
 
+/// Compiles one kernel file and returns the emitted text. Throws Error
+/// on any failure; thread-safe (no shared mutable state).
+std::string processFile(const std::string& inputFile, const Options& opts) {
+  std::ifstream in(inputFile);
+  if (!in) throw Error(strCat("cannot open ", inputFile));
+  std::stringstream source;
+  source << in.rdbuf();
+
+  ir::Graph g = transforms::canonicalize(
+      frontend::compileKernel(source.str()));
+  if (opts.aggressive) g = transforms::optimize(g);
+  if (opts.nandLower)
+    g = transforms::canonicalize(transforms::lowerToNand(g));
+
+  transforms::SubstitutionStats substitution;
+  if (opts.mra > 2) {
+    transforms::SubstitutionOptions sopt;
+    sopt.maxOperands = opts.mra;
+    sopt.fraction = opts.fraction;
+    auto sub = transforms::substituteNodes(g, sopt);
+    g = std::move(sub.graph);
+    substitution = sub.stats;
+  }
+
+  std::ostringstream out;
+  if (opts.emit == "dot") {
+    out << ir::toDot(g, "kernel");
+    return out.str();
+  }
+  if (opts.emit == "dag") {
+    out << ir::graphToText(g);
+    return out.str();
+  }
+
+  isa::TargetSpec target = isa::TargetSpec::square(
+      opts.targetDim, techFor(opts.tech), opts.mra);
+  mapping::CompileOptions copts;
+  copts.strategy = opts.strategy == "naive" ? mapping::Strategy::Naive
+                                            : mapping::Strategy::Optimized;
+  auto compiled = mapping::compile(g, target, copts);
+
+  if (opts.emit == "asm") {
+    out << "# sherlockc: " << inputFile << " -> " << target.tech.name << " "
+        << opts.targetDim << "x" << opts.targetDim << ", " << opts.strategy
+        << " mapping\n"
+        << isa::toAssembly(compiled.program.instructions);
+    return out.str();
+  }
+  if (opts.emit == "stats") {
+    const auto& s = compiled.program.stats;
+    out << "DAG:            " << g.opCount() << " ops, " << g.valueCount()
+        << " values, critical path " << ir::criticalPathLength(g) << "\n";
+    if (opts.mra > 2)
+      out << "substitution:   " << substitution.applied << "/"
+          << substitution.candidates << " merges, " << substitution.wideOps
+          << " wide ops\n";
+    out << "instructions:   " << compiled.program.instructions.size()
+        << " (host writes " << s.hostWrites << ", CIM reads " << s.cimReads
+        << ", plain reads " << s.plainReads << ", spills " << s.spillWrites
+        << ", shifts " << s.shifts << ", moves " << s.moves << ")\n"
+        << "merged:         " << s.mergedInstructions
+        << ", chained operands: " << s.chainedOperands << "\n"
+        << "columns used:   " << compiled.program.usedColumns
+        << ", peak live cells: " << compiled.program.peakLiveCells << "\n";
+    if (copts.strategy == mapping::Strategy::Optimized)
+      out << "clusters:       " << compiled.clustering.clusters.size()
+          << " (cross edges " << compiled.clustering.crossClusterEdges
+          << ")\n";
+    out << "\n" << mapping::analyzeProgram(compiled.program).toString();
+    return out.str();
+  }
+  if (opts.emit == "sim") {
+    auto result = sim::simulate(g, target, compiled.program);
+    out << "latency:  " << result.latencyNs / 1000.0 << " us ("
+        << result.stallNs / 1000.0 << " us stalled)\n"
+        << "energy:   " << result.energyPj / 1e6 << " uJ\n"
+        << "P_app:    " << result.pApp << " over " << result.cimColumnOps
+        << " CIM column-ops\n"
+        << "verified: " << (result.verified ? "yes" : "no") << "\n";
+    return out.str();
+  }
+  throw Error(strCat("unknown --emit kind '", opts.emit, "'"));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opts = parseArgs(argc, argv);
-  try {
-    std::ifstream in(opts.inputFile);
-    if (!in) throw Error(strCat("cannot open ", opts.inputFile));
-    std::stringstream source;
-    source << in.rdbuf();
 
-    ir::Graph g = transforms::canonicalize(
-        frontend::compileKernel(source.str()));
-    if (opts.aggressive) g = transforms::optimize(g);
-    if (opts.nandLower)
-      g = transforms::canonicalize(transforms::lowerToNand(g));
+  struct FileResult {
+    std::string text;
+    std::string error;
+  };
 
-    transforms::SubstitutionStats substitution;
-    if (opts.mra > 2) {
-      transforms::SubstitutionOptions sopt;
-      sopt.maxOperands = opts.mra;
-      sopt.fraction = opts.fraction;
-      auto sub = transforms::substituteNodes(g, sopt);
-      g = std::move(sub.graph);
-      substitution = sub.stats;
-    }
+  ThreadPool pool(opts.jobs);
+  std::vector<FileResult> results =
+      parallelMap(pool, opts.inputFiles, [&](const std::string& file) {
+        FileResult r;
+        try {
+          r.text = processFile(file, opts);
+        } catch (const Error& e) {
+          r.error = e.what();
+        }
+        return r;
+      });
 
-    if (opts.emit == "dot") {
-      std::cout << ir::toDot(g, "kernel");
-      return 0;
+  bool failed = false;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (opts.inputFiles.size() > 1)
+      std::cout << "# ==> " << opts.inputFiles[i] << " <==\n";
+    if (!results[i].error.empty()) {
+      std::cerr << "sherlockc: error: " << opts.inputFiles[i] << ": "
+                << results[i].error << "\n";
+      failed = true;
+      continue;
     }
-    if (opts.emit == "dag") {
-      std::cout << ir::graphToText(g);
-      return 0;
-    }
-
-    isa::TargetSpec target = isa::TargetSpec::square(
-        opts.targetDim, techFor(opts.tech), opts.mra);
-    mapping::CompileOptions copts;
-    copts.strategy = opts.strategy == "naive" ? mapping::Strategy::Naive
-                                              : mapping::Strategy::Optimized;
-    auto compiled = mapping::compile(g, target, copts);
-
-    if (opts.emit == "asm") {
-      std::cout << "# sherlockc: " << opts.inputFile << " -> "
-                << target.tech.name << " " << opts.targetDim << "x"
-                << opts.targetDim << ", " << opts.strategy << " mapping\n"
-                << isa::toAssembly(compiled.program.instructions);
-      return 0;
-    }
-    if (opts.emit == "stats") {
-      const auto& s = compiled.program.stats;
-      std::cout << "DAG:            " << g.opCount() << " ops, "
-                << g.valueCount() << " values, critical path "
-                << ir::criticalPathLength(g) << "\n";
-      if (opts.mra > 2)
-        std::cout << "substitution:   " << substitution.applied << "/"
-                  << substitution.candidates << " merges, "
-                  << substitution.wideOps << " wide ops\n";
-      std::cout << "instructions:   "
-                << compiled.program.instructions.size() << " (host writes "
-                << s.hostWrites << ", CIM reads " << s.cimReads
-                << ", plain reads " << s.plainReads << ", spills "
-                << s.spillWrites << ", shifts " << s.shifts << ", moves "
-                << s.moves << ")\n"
-                << "merged:         " << s.mergedInstructions
-                << ", chained operands: " << s.chainedOperands << "\n"
-                << "columns used:   " << compiled.program.usedColumns
-                << ", peak live cells: " << compiled.program.peakLiveCells
-                << "\n";
-      if (copts.strategy == mapping::Strategy::Optimized)
-        std::cout << "clusters:       "
-                  << compiled.clustering.clusters.size()
-                  << " (cross edges "
-                  << compiled.clustering.crossClusterEdges << ")\n";
-      std::cout << "\n"
-                << mapping::analyzeProgram(compiled.program).toString();
-      return 0;
-    }
-    if (opts.emit == "sim") {
-      auto result = sim::simulate(g, target, compiled.program);
-      std::cout << "latency:  " << result.latencyNs / 1000.0 << " us ("
-                << result.stallNs / 1000.0 << " us stalled)\n"
-                << "energy:   " << result.energyPj / 1e6 << " uJ\n"
-                << "P_app:    " << result.pApp << " over "
-                << result.cimColumnOps << " CIM column-ops\n"
-                << "verified: " << (result.verified ? "yes" : "no")
-                << "\n";
-      return 0;
-    }
-    usage(argv[0]);
-  } catch (const Error& e) {
-    std::cerr << "sherlockc: error: " << e.what() << "\n";
-    return 1;
+    std::cout << results[i].text;
+    if (opts.inputFiles.size() > 1 && i + 1 < results.size())
+      std::cout << "\n";
   }
+  return failed ? 1 : 0;
 }
