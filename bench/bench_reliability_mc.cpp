@@ -91,6 +91,9 @@ int main() {
         sim::SimOptions opts;
         opts.injectFaults = true;
         opts.faultSeed = deriveSeed(kBaseSeed, trial);
+        // The program was already statically verified by the fault-free
+        // analytic run; skip re-verifying it on every trial.
+        opts.staticVerify = false;
         auto r = sim::simulate(p.graph, p.target, p.program, opts);
         return TrialResult{std::popcount(r.corruptedOutputLanes),
                            r.injectedFaults};

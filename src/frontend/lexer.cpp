@@ -121,7 +121,13 @@ std::vector<Token> tokenize(const std::string& source) {
       Token t;
       t.kind = TokenKind::Number;
       t.text = digits;
-      t.value = std::stoll(digits);
+      try {
+        t.value = std::stoll(digits);
+      } catch (const std::out_of_range&) {
+        throw ParseError(strCat("integer literal '", digits,
+                                "' out of range"),
+                         startLine, startCol);
+      }
       t.line = startLine;
       t.column = startCol;
       tokens.push_back(std::move(t));

@@ -17,6 +17,28 @@ class Parser {
   }
 
  private:
+  /// Recursive-descent depth cap: adversarial inputs (deeply nested
+  /// parentheses, '~' chains, nested for loops) must fail with a
+  /// ParseError, not exhaust the stack.
+  static constexpr int kMaxDepth = 256;
+  /// Cap on one operator chain (a & b & c & ...): the chain parses
+  /// iteratively but produces a left-leaning tree that downstream
+  /// recursion (lowering, destruction) walks depth-first.
+  static constexpr int kMaxChainLength = 8192;
+
+  struct DepthGuard {
+    DepthGuard(Parser& p, const Token& where) : p_(p) {
+      if (++p_.depth_ > kMaxDepth)
+        throw ParseError(strCat("nesting deeper than ", kMaxDepth,
+                                " levels"),
+                         where.line, where.column);
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
+
+  int depth_ = 0;
+
   const Token& peek() const { return tokens_[pos_]; }
   bool at(TokenKind kind) const { return peek().kind == kind; }
 
@@ -70,6 +92,7 @@ class Parser {
   }
 
   std::unique_ptr<Expr> parseUnary() {
+    DepthGuard guard(*this, peek());
     if (at(TokenKind::Tilde) || at(TokenKind::Minus)) {
       Token t = consume();
       auto e = makeExpr(
@@ -84,11 +107,16 @@ class Parser {
       std::unique_ptr<Expr> (Parser::*next)(),
       std::initializer_list<std::pair<TokenKind, Expr::Kind>> table) {
     auto lhs = (this->*next)();
+    int length = 0;
     for (;;) {
       bool matched = false;
       for (const auto& [tok, kind] : table) {
         if (!at(tok)) continue;
         Token t = consume();
+        if (++length > kMaxChainLength)
+          throw ParseError(strCat("operator chain longer than ",
+                                  kMaxChainLength, " terms"),
+                           t.line, t.column);
         auto e = makeExpr(kind, t);
         e->lhs = std::move(lhs);
         e->rhs = (this->*next)();
@@ -151,7 +179,15 @@ class Parser {
     if (at(TokenKind::LBracket)) {
       consume();
       Token n = expect(TokenKind::Number);
-      checkArg(n.value > 0, "array size must be positive");
+      if (n.value <= 0)
+        throw ParseError(strCat("array size must be positive, got ",
+                                n.text),
+                         n.line, n.column);
+      constexpr int64_t kMaxArraySize = 1 << 20;
+      if (n.value > kMaxArraySize)
+        throw ParseError(strCat("array size ", n.text, " exceeds the ",
+                                kMaxArraySize, " limit"),
+                         n.line, n.column);
       s.arraySize = static_cast<int>(n.value);
       expect(TokenKind::RBracket);
     }
@@ -205,6 +241,7 @@ class Parser {
   }
 
   Stmt parseStmt() {
+    DepthGuard guard(*this, peek());
     if (at(TokenKind::KwFor)) return parseFor();
     if (at(TokenKind::KwBit)) return parseDecl(Stmt::Kind::DeclBit);
     return parseAssign();

@@ -12,6 +12,7 @@
 #include "mapping/naive_mapper.h"
 #include "mapping/opt_mapper.h"
 #include "mapping/program.h"
+#include "verify/verifier.h"
 
 namespace sherlock::mapping {
 
@@ -29,6 +30,12 @@ struct CompileOptions {
   std::optional<bool> eagerWriteback;
   /// Scheduler wave ordering (ablation; default b-level).
   CodegenOptions::WaveOrder waveOrder = CodegenOptions::WaveOrder::BLevel;
+  /// Statically verify the generated program (src/verify) before
+  /// returning it. Defaults to verify::verifyCompiledByDefault():
+  /// SHERLOCK_VERIFY env override, else on in debug / off in release.
+  /// The test suite runs with SHERLOCK_VERIFY=1, so every compilation
+  /// under ctest is verified.
+  std::optional<bool> verify;
   /// Eq. 1 clustering constants (optimized strategy only).
   OptMapperOptions optimizer;
 };
@@ -58,6 +65,8 @@ inline CompileResult compile(const ir::Graph& g,
   cg.reuseMovedCopies = optimized;
   cg.waveOrder = options.waveOrder;
   result.program = generateCode(g, target, result.plan, cg);
+  if (options.verify.value_or(verify::verifyCompiledByDefault()))
+    verify::checkProgram(g, target, result.program);
   return result;
 }
 

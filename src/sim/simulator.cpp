@@ -9,6 +9,7 @@
 #include "ir/evaluator.h"
 #include "support/diagnostics.h"
 #include "support/rng.h"
+#include "verify/verifier.h"
 
 namespace sherlock::sim {
 
@@ -65,6 +66,15 @@ uint64_t defaultInputWord(const std::string& name, uint64_t seed) {
 SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
                    const mapping::Program& program,
                    const SimOptions& options) {
+  if (options.staticVerify) {
+    // Structural rules only: the functional run below compares outputs
+    // against the reference evaluator on concrete inputs, which subsumes
+    // the symbolic equivalence check.
+    verify::VerifyOptions vopts;
+    vopts.checkEquivalence = false;
+    verify::checkProgram(g, target, program, vopts);
+  }
+
   arraymodel::ArrayCostModel cost(target.geometry, target.tech);
   const int rows = target.rows();
   const int cols = target.cols();
@@ -183,7 +193,8 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
               if (!arr.bufferValid[static_cast<size_t>(c)])
                 throw SimulationError(
                     strCat("instruction ", idx,
-                           ": chained read of invalid buffer column ", c));
+                           ": chained read of invalid buffer column ", c,
+                           " of array ", inst.arrayId));
               operands.push_back(arr.buffer[static_cast<size_t>(c)]);
             }
             newBits[i] = ir::evalOp(inst.colOps[i], operands);
@@ -240,7 +251,8 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
             if (!arr.bufferValid[static_cast<size_t>(c)])
               throw SimulationError(
                   strCat("instruction ", idx,
-                         ": write from invalid buffer column ", c));
+                         ": write from invalid buffer column ", c,
+                         " of array ", inst.arrayId));
             word = arr.buffer[static_cast<size_t>(c)];
           }
           size_t ci = arr.cellIndex(row, c);
@@ -287,7 +299,7 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
         if (!arr.bufferValid[static_cast<size_t>(srcCol)])
           throw SimulationError(strCat("instruction ", idx,
                                        ": move from invalid buffer column ",
-                                       srcCol));
+                                       srcCol, " of array ", inst.arrayId));
         dst.buffer[static_cast<size_t>(inst.moveDstCol)] =
             arr.buffer[static_cast<size_t>(srcCol)];
         dst.bufferValid[static_cast<size_t>(inst.moveDstCol)] = true;
@@ -319,7 +331,8 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
       size_t ci = arr2.cellIndex(cell.row, cell.col);
       if (!arr2.cellWritten[ci])
         throw SimulationError(
-            strCat("output ", out, " cell never written"));
+            strCat("output ", out, " cell (array ", cell.arrayId, ", row ",
+                   cell.row, ", col ", cell.col, ") never written"));
       uint64_t diff = arr2.cells[ci] ^ reference[static_cast<size_t>(out)];
       if (diff != 0) {
         if (options.injectFaults) {
@@ -328,8 +341,11 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
           result.corruptedOutputLanes |= diff;
         } else {
           throw SimulationError(strCat(
-              "output ", out, " mismatch: array holds ", arr2.cells[ci],
-              " but reference is ", reference[static_cast<size_t>(out)]));
+              "output ", out, " mismatch at cell (array ", cell.arrayId,
+              ", row ", cell.row, ", col ", cell.col, "), written by "
+              "instruction ", arr2.writeIndex[ci], ": array holds ",
+              arr2.cells[ci], " but reference is ",
+              reference[static_cast<size_t>(out)]));
         }
       }
     }

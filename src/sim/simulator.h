@@ -40,6 +40,13 @@ struct SimOptions {
   /// Compare output cells against the reference evaluator.
   bool verify = true;
 
+  /// Statically verify the program (src/verify structural rules) before
+  /// executing it: malformed streams fail with a VerificationError that
+  /// pins the instruction index and violated rule instead of surfacing as
+  /// a mid-execution SimulationError. Disable for hot loops that run one
+  /// already-verified program many times (e.g. Monte-Carlo trials).
+  bool staticVerify = true;
+
   /// Record per-read stall events (instruction index, stall ns, distance
   /// in instructions from the blocking write) for analysis.
   bool traceStalls = false;

@@ -67,6 +67,28 @@ class SimulationError : public Error {
   using Error::Error;
 };
 
+/// Static program verification failure (src/verify): a compiled program
+/// violates an ISA/array constraint or disagrees with its source DAG.
+/// Carries the violated rule name and, when the violation anchors to one
+/// instruction, its index in the program (kNoInstruction otherwise).
+class VerificationError : public Error {
+ public:
+  static constexpr long kNoInstruction = -1;
+
+  VerificationError(const std::string& message, std::string rule,
+                    long instructionIndex = kNoInstruction)
+      : Error(message),
+        rule_(std::move(rule)),
+        instructionIndex_(instructionIndex) {}
+
+  const std::string& rule() const { return rule_; }
+  long instructionIndex() const { return instructionIndex_; }
+
+ private:
+  std::string rule_;
+  long instructionIndex_;
+};
+
 /// Throws `Error` with `message` unless `condition` holds.
 inline void checkArg(bool condition, const std::string& message) {
   if (!condition) throw Error(message);

@@ -1,0 +1,633 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "support/diagnostics.h"
+
+namespace sherlock::verify {
+
+using ir::NodeId;
+using ir::OpKind;
+using isa::InstKind;
+using isa::Instruction;
+
+const char* ruleName(Rule rule) {
+  switch (rule) {
+    case Rule::AddressBounds: return "address-bounds";
+    case Rule::InstructionShape: return "instruction-shape";
+    case Rule::MraExceeded: return "mra-exceeded";
+    case Rule::PerColumnOps: return "per-column-ops";
+    case Rule::BufferChaining: return "buffer-chaining";
+    case Rule::OperandArity: return "operand-arity";
+    case Rule::ReadBeforeWrite: return "read-before-write";
+    case Rule::BufferLiveness: return "buffer-liveness";
+    case Rule::HostWriteMetadata: return "host-write-metadata";
+    case Rule::OutputPlacement: return "output-placement";
+    case Rule::ValueEquivalence: return "value-equivalence";
+  }
+  return "unknown";
+}
+
+std::string Violation::toString() const {
+  std::ostringstream os;
+  if (instructionIndex != kNoInstruction)
+    os << "instruction " << instructionIndex << ": ";
+  os << ruleName(rule) << ": " << message;
+  return os.str();
+}
+
+std::string VerifyResult::summary() const {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += v.toString();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Hash-consed symbolic values. Two expressions receive the same id iff
+/// they are equal under the scouting-logic algebra restricted to the
+/// rewrites the mappers perform: operand order/duplication normalization
+/// of the associative-commutative ops, the Copy/Not degenerations of
+/// collapsed binary ops, and NAND/NOR/XNOR as negated AND/OR/XOR.
+class ValueTable {
+ public:
+  ValueTable() {
+    constFalse_ = fresh();
+    constTrue_ = fresh();
+    negation_[constFalse_] = constTrue_;
+    negation_[constTrue_] = constFalse_;
+  }
+
+  int leafConst(bool value) { return value ? constTrue_ : constFalse_; }
+
+  int leafInput(const std::string& name) {
+    auto [it, inserted] = inputs_.try_emplace(name, 0);
+    if (inserted) it->second = fresh();
+    return it->second;
+  }
+
+  /// A value of unknown provenance (used to keep verification going after
+  /// a dataflow violation without cascading mismatches).
+  int opaque() { return fresh(); }
+
+  /// Canonicalized application of `op` over operand value numbers.
+  /// Returns -1 if the arity is invalid for the op (reported separately).
+  int apply(OpKind op, std::vector<int> operands) {
+    switch (op) {
+      case OpKind::Copy:
+        return operands.size() == 1 ? operands[0] : -1;
+      case OpKind::Not:
+        return operands.size() == 1 ? negate(operands[0]) : -1;
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Nand:
+      case OpKind::Nor: {
+        if (operands.empty()) return -1;
+        std::sort(operands.begin(), operands.end());
+        operands.erase(std::unique(operands.begin(), operands.end()),
+                       operands.end());
+        bool isOr = op == OpKind::Or || op == OpKind::Nor;
+        int base = operands.size() == 1
+                       ? operands[0]
+                       : cons(isOr ? Tag::Or : Tag::And, operands);
+        bool negated = op == OpKind::Nand || op == OpKind::Nor;
+        return negated ? negate(base) : base;
+      }
+      case OpKind::Xor:
+      case OpKind::Xnor: {
+        // Parity: duplicate operands cancel pairwise.
+        std::sort(operands.begin(), operands.end());
+        std::vector<int> kept;
+        for (size_t i = 0; i < operands.size();) {
+          if (i + 1 < operands.size() && operands[i] == operands[i + 1]) {
+            i += 2;
+          } else {
+            kept.push_back(operands[i]);
+            ++i;
+          }
+        }
+        int base = kept.empty() ? constFalse_
+                   : kept.size() == 1 ? kept[0]
+                                      : cons(Tag::Xor, kept);
+        return op == OpKind::Xnor ? negate(base) : base;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  enum class Tag { And, Or, Xor };
+
+  int fresh() { return next_++; }
+
+  int cons(Tag tag, const std::vector<int>& operands) {
+    std::vector<int> key;
+    key.reserve(operands.size() + 1);
+    key.push_back(static_cast<int>(tag));
+    key.insert(key.end(), operands.begin(), operands.end());
+    auto [it, inserted] = exprs_.try_emplace(std::move(key), 0);
+    if (inserted) it->second = fresh();
+    return it->second;
+  }
+
+  /// NOT via a bidirectional link, so Not(Not(x)) == x by construction.
+  int negate(int v) {
+    auto it = negation_.find(v);
+    if (it != negation_.end()) return it->second;
+    int n = fresh();
+    negation_[v] = n;
+    negation_[n] = v;
+    return n;
+  }
+
+  int next_ = 0;
+  int constFalse_ = -1;
+  int constTrue_ = -1;
+  std::map<std::string, int> inputs_;
+  std::map<std::vector<int>, int> exprs_;
+  std::map<int, int> negation_;
+};
+
+/// Symbolic state of one array: a value number per cell and per
+/// row-buffer slot; -1 = unwritten cell / invalid buffer bit.
+struct ArraySym {
+  ArraySym(int rows, int cols)
+      : cells(static_cast<size_t>(rows) * cols, -1),
+        buffer(static_cast<size_t>(cols), -1) {}
+  std::vector<int> cells;
+  std::vector<int> buffer;
+};
+
+class Verifier {
+ public:
+  Verifier(const ir::Graph& g, const isa::TargetSpec& target,
+           const mapping::Program& program, const VerifyOptions& options)
+      : g_(g), target_(target), prog_(program), options_(options) {}
+
+  VerifyResult run() {
+    checkHostWriteTable();
+    for (size_t idx = 0; idx < prog_.instructions.size() && !full(); ++idx) {
+      const Instruction& inst = prog_.instructions[idx];
+      result_.checkedInstructions++;
+      if (auto v = checkInstructionRules(inst, target_, idx)) {
+        report(*v);
+        continue;  // malformed shape: skip the dataflow interpretation
+      }
+      interpret(idx, inst);
+    }
+    if (!full()) checkOutputs();
+    return std::move(result_);
+  }
+
+ private:
+  bool full() const {
+    return result_.violations.size() >= options_.maxViolations;
+  }
+
+  void report(Violation v) {
+    if (!full()) result_.violations.push_back(std::move(v));
+  }
+
+  void report(Rule rule, size_t idx, int arrayId, int row, int col,
+              std::string message) {
+    Violation v;
+    v.rule = rule;
+    v.instructionIndex = idx;
+    v.arrayId = arrayId;
+    v.row = row;
+    v.col = col;
+    v.message = std::move(message);
+    report(std::move(v));
+  }
+
+  ArraySym& arrayAt(int a) {
+    auto& slot = arrays_[static_cast<size_t>(a)];
+    if (!slot)
+      slot = std::make_unique<ArraySym>(target_.rows(), target_.cols());
+    return *slot;
+  }
+
+  size_t cellIndex(int row, int col) const {
+    return static_cast<size_t>(row) * target_.cols() + col;
+  }
+
+  /// Value number of a leaf node, shared with the graph-side evaluation.
+  int leafVn(NodeId id) {
+    const ir::Node& n = g_.node(id);
+    return n.isConst() ? values_.leafConst(n.constValue)
+                       : values_.leafInput(n.name);
+  }
+
+  // ------------------------------------------------- program-level checks
+  void checkHostWriteTable() {
+    for (const auto& [idx, leaves] : prog_.hostWriteValues) {
+      if (idx >= prog_.instructions.size()) {
+        report(Rule::HostWriteMetadata, Violation::kNoInstruction, -1, -1, -1,
+               strCat("hostWriteValues references instruction ", idx,
+                      " of a ", prog_.instructions.size(),
+                      "-instruction program"));
+        continue;
+      }
+      const Instruction& inst = prog_.instructions[idx];
+      if (inst.kind != InstKind::Write) {
+        report(Rule::HostWriteMetadata, idx, inst.arrayId, -1, -1,
+               "hostWriteValues entry on a non-write instruction");
+        continue;
+      }
+      if (leaves.size() != inst.columns.size()) {
+        report(Rule::HostWriteMetadata, idx, inst.arrayId, -1, -1,
+               strCat("host write carries ", leaves.size(), " values for ",
+                      inst.columns.size(), " columns"));
+        continue;
+      }
+      for (NodeId leaf : leaves) {
+        if (leaf < g_.firstId() || leaf >= g_.endId()) {
+          report(Rule::HostWriteMetadata, idx, inst.arrayId, -1, -1,
+                 strCat("host write of out-of-range node ", leaf));
+        } else if (g_.node(leaf).isOp()) {
+          report(Rule::HostWriteMetadata, idx, inst.arrayId, -1, -1,
+                 strCat("host write of non-leaf node ", leaf));
+        }
+      }
+    }
+  }
+
+  // --------------------------------------------- dataflow interpretation
+  void interpret(size_t idx, const Instruction& inst) {
+    ArraySym& arr = arrayAt(inst.arrayId);
+    switch (inst.kind) {
+      case InstKind::Read: interpretRead(idx, inst, arr); break;
+      case InstKind::Write: interpretWrite(idx, inst, arr); break;
+      case InstKind::Shift: interpretShift(idx, inst, arr); break;
+      case InstKind::Move: interpretMove(idx, inst, arr); break;
+    }
+  }
+
+  void interpretRead(size_t idx, const Instruction& inst, ArraySym& arr) {
+    // Phase 1: evaluate every column against the pre-read state (chained
+    // bits see the buffer as it was before this instruction commits).
+    std::vector<int> newBits(inst.columns.size(), -1);
+    for (size_t i = 0; i < inst.columns.size(); ++i) {
+      int c = inst.columns[i];
+      std::vector<int> operands;
+      operands.reserve(inst.rows.size() + 1);
+      bool bad = false;
+      for (int r : inst.rows) {
+        int vn = arr.cells[cellIndex(r, c)];
+        if (vn < 0) {
+          report(Rule::ReadBeforeWrite, idx, inst.arrayId, r, c,
+                 strCat("read of unwritten cell (array ", inst.arrayId,
+                        ", row ", r, ", col ", c, ")"));
+          bad = true;
+        }
+        operands.push_back(vn);
+      }
+      if (inst.colOps.empty()) {
+        newBits[i] = bad ? values_.opaque() : operands[0];
+        continue;
+      }
+      if (inst.chainsBuffer[i]) {
+        int vn = arr.buffer[static_cast<size_t>(c)];
+        if (vn < 0) {
+          report(Rule::BufferLiveness, idx, inst.arrayId, -1, c,
+                 strCat("chained read of invalid buffer column ", c,
+                        " (no prior read produced it)"));
+          bad = true;
+        }
+        operands.push_back(vn);
+      }
+      newBits[i] =
+          bad ? values_.opaque() : values_.apply(inst.colOps[i], operands);
+      if (newBits[i] < 0) {
+        // Arity mismatch already reported by the rule check; keep going.
+        newBits[i] = values_.opaque();
+      }
+      if (full()) return;
+    }
+    // Phase 2: commit the sensed bits to the row buffer.
+    for (size_t i = 0; i < inst.columns.size(); ++i)
+      arr.buffer[static_cast<size_t>(inst.columns[i])] = newBits[i];
+  }
+
+  void interpretWrite(size_t idx, const Instruction& inst, ArraySym& arr) {
+    int row = inst.rows[0];
+    auto hostIt = prog_.hostWriteValues.find(idx);
+    bool host = hostIt != prog_.hostWriteValues.end() &&
+                hostIt->second.size() == inst.columns.size();
+    for (size_t i = 0; i < inst.columns.size(); ++i) {
+      int c = inst.columns[i];
+      int vn;
+      if (host) {
+        NodeId leaf = hostIt->second[i];
+        vn = (leaf >= g_.firstId() && leaf < g_.endId() &&
+              !g_.node(leaf).isOp())
+                 ? leafVn(leaf)
+                 : values_.opaque();
+      } else {
+        vn = arr.buffer[static_cast<size_t>(c)];
+        if (vn < 0) {
+          report(Rule::BufferLiveness, idx, inst.arrayId, row, c,
+                 strCat("write from invalid buffer column ", c,
+                        " (no prior read produced it)"));
+          vn = values_.opaque();
+        }
+      }
+      arr.cells[cellIndex(row, c)] = vn;
+    }
+  }
+
+  void interpretShift(size_t idx, const Instruction& inst, ArraySym& arr) {
+    int cols = target_.cols();
+    bool anyValid =
+        std::any_of(arr.buffer.begin(), arr.buffer.end(),
+                    [](int vn) { return vn >= 0; });
+    if (!anyValid)
+      report(Rule::BufferLiveness, idx, inst.arrayId, -1, -1,
+             "shift of an empty row buffer moves no live bit");
+    int d = inst.shiftDistance % cols;
+    if (inst.shiftDirection == isa::ShiftDirection::Right) d = (cols - d) % cols;
+    std::vector<int> rotated(arr.buffer.size(), -1);
+    for (int c = 0; c < cols; ++c)
+      rotated[static_cast<size_t>((c + d) % cols)] =
+          arr.buffer[static_cast<size_t>(c)];
+    arr.buffer = std::move(rotated);
+  }
+
+  void interpretMove(size_t idx, const Instruction& inst, ArraySym& arr) {
+    int srcCol = inst.columns[0];
+    int vn = arr.buffer[static_cast<size_t>(srcCol)];
+    if (vn < 0) {
+      report(Rule::BufferLiveness, idx, inst.arrayId, -1, srcCol,
+             strCat("move from invalid buffer column ", srcCol,
+                    " (no prior read produced it)"));
+      vn = values_.opaque();
+    }
+    arrayAt(inst.moveDstArray)
+        .buffer[static_cast<size_t>(inst.moveDstCol)] = vn;
+  }
+
+  // -------------------------------------------------------- output checks
+  void checkOutputs() {
+    // The equivalence comparison is only meaningful on a structurally
+    // clean program; after violations the symbolic state holds opaque
+    // placeholders that would produce noise mismatches.
+    bool equivalence =
+        options_.checkEquivalence && result_.violations.empty();
+    std::vector<int> graphVn;
+    if (equivalence) graphVn = evaluateGraph();
+
+    for (NodeId out : g_.outputs()) {
+      if (full()) return;
+      auto it = prog_.outputCells.find(out);
+      if (it == prog_.outputCells.end()) {
+        report(Rule::OutputPlacement, Violation::kNoInstruction, -1, -1, -1,
+               strCat("output ", out, " has no recorded cell"));
+        continue;
+      }
+      const mapping::CellAddress& cell = it->second;
+      if (cell.arrayId < 0 || cell.arrayId >= target_.numArrays ||
+          cell.row < 0 || cell.row >= target_.rows() || cell.col < 0 ||
+          cell.col >= target_.cols()) {
+        report(Rule::OutputPlacement, Violation::kNoInstruction,
+               cell.arrayId, cell.row, cell.col,
+               strCat("output ", out, " cell (array ", cell.arrayId,
+                      ", row ", cell.row, ", col ", cell.col,
+                      ") is out of bounds"));
+        continue;
+      }
+      int vn = arrayAt(cell.arrayId).cells[cellIndex(cell.row, cell.col)];
+      if (vn < 0) {
+        report(Rule::OutputPlacement, Violation::kNoInstruction,
+               cell.arrayId, cell.row, cell.col,
+               strCat("output ", out, " cell (array ", cell.arrayId,
+                      ", row ", cell.row, ", col ", cell.col,
+                      ") was never written"));
+        continue;
+      }
+      if (equivalence && vn != graphVn[static_cast<size_t>(out)]) {
+        report(Rule::ValueEquivalence, Violation::kNoInstruction,
+               cell.arrayId, cell.row, cell.col,
+               strCat("output ", out, " cell (array ", cell.arrayId,
+                      ", row ", cell.row, ", col ", cell.col,
+                      ") holds a different symbolic value than the DAG "
+                      "computes"));
+      }
+    }
+  }
+
+  /// Canonical value number of every graph node, via the same table the
+  /// program interpretation uses (ids are topologically ordered).
+  std::vector<int> evaluateGraph() {
+    std::vector<int> vn(g_.numNodes(), -1);
+    for (NodeId i = g_.firstId(); i < g_.endId(); ++i) {
+      const ir::Node& n = g_.node(i);
+      if (!n.isOp()) {
+        vn[static_cast<size_t>(i)] = leafVn(i);
+        continue;
+      }
+      std::vector<int> operands;
+      operands.reserve(n.operands.size());
+      for (NodeId o : n.operands)
+        operands.push_back(vn[static_cast<size_t>(o)]);
+      int v = values_.apply(n.op, operands);
+      vn[static_cast<size_t>(i)] = v < 0 ? values_.opaque() : v;
+    }
+    return vn;
+  }
+
+  const ir::Graph& g_;
+  const isa::TargetSpec& target_;
+  const mapping::Program& prog_;
+  VerifyOptions options_;
+
+  VerifyResult result_;
+  ValueTable values_;
+  std::map<int, std::unique_ptr<ArraySym>> arrays_;
+};
+
+Violation makeRuleViolation(Rule rule, size_t idx, const Instruction& inst,
+                            std::string message) {
+  Violation v;
+  v.rule = rule;
+  v.instructionIndex = idx;
+  v.arrayId = inst.arrayId;
+  v.message = std::move(message);
+  return v;
+}
+
+}  // namespace
+
+std::optional<Violation> checkInstructionRules(const Instruction& inst,
+                                               const isa::TargetSpec& target,
+                                               size_t index) {
+  const int rows = target.rows();
+  const int cols = target.cols();
+  auto bounds = [&](std::string message) {
+    return makeRuleViolation(Rule::AddressBounds, index, inst,
+                             std::move(message));
+  };
+  auto shape = [&](std::string message) {
+    return makeRuleViolation(Rule::InstructionShape, index, inst,
+                             std::move(message));
+  };
+
+  if (inst.arrayId < 0 || inst.arrayId >= target.numArrays)
+    return bounds(strCat("array id ", inst.arrayId, " outside [0, ",
+                         target.numArrays, ")"));
+
+  if (inst.kind == InstKind::Shift) {
+    if (inst.shiftDistance < 1 || inst.shiftDistance >= cols)
+      return shape(strCat("shift distance ", inst.shiftDistance,
+                          " outside [1, ", cols, ")"));
+    return std::nullopt;
+  }
+
+  if (inst.kind == InstKind::Move) {
+    if (inst.columns.size() != 1)
+      return shape(strCat("move takes one source column, got ",
+                          inst.columns.size()));
+    if (inst.columns[0] < 0 || inst.columns[0] >= cols)
+      return bounds(strCat("move source column ", inst.columns[0],
+                           " outside [0, ", cols, ")"));
+    if (inst.moveDstArray < 0 || inst.moveDstArray >= target.numArrays)
+      return bounds(strCat("move destination array ", inst.moveDstArray,
+                           " outside [0, ", target.numArrays, ")"));
+    if (inst.moveDstCol < 0 || inst.moveDstCol >= cols)
+      return bounds(strCat("move destination column ", inst.moveDstCol,
+                           " outside [0, ", cols, ")"));
+    return std::nullopt;
+  }
+
+  // Read / Write.
+  if (inst.columns.empty()) return shape("read/write addresses no column");
+  for (int c : inst.columns)
+    if (c < 0 || c >= cols)
+      return bounds(strCat("column ", c, " outside [0, ", cols, ")"));
+  for (int r : inst.rows)
+    if (r < 0 || r >= rows)
+      return bounds(strCat("row ", r, " outside [0, ", rows, ")"));
+  if (!std::is_sorted(inst.columns.begin(), inst.columns.end()) ||
+      std::adjacent_find(inst.columns.begin(), inst.columns.end()) !=
+          inst.columns.end())
+    return shape("columns must be ascending and unique");
+  if (!std::is_sorted(inst.rows.begin(), inst.rows.end()) ||
+      std::adjacent_find(inst.rows.begin(), inst.rows.end()) !=
+          inst.rows.end())
+    return shape("rows must be ascending and unique");
+
+  if (inst.kind == InstKind::Write) {
+    if (inst.rows.size() != 1)
+      return shape(strCat("write takes exactly one destination row, got ",
+                          inst.rows.size()));
+    if (!inst.colOps.empty()) return shape("write carries column ops");
+    return std::nullopt;
+  }
+
+  // Read.
+  if (inst.colOps.empty()) {
+    if (inst.rows.size() != 1)
+      return shape(strCat("plain read activates exactly one row, got ",
+                          inst.rows.size()));
+    if (!inst.chainsBuffer.empty())
+      return shape("plain read carries chain flags");
+    return std::nullopt;
+  }
+
+  // CIM read: every sensed column shares the single activated row set by
+  // encoding; the op/chain vectors must parallel the column list.
+  if (inst.colOps.size() != inst.columns.size())
+    return shape(strCat(inst.colOps.size(), " ops for ",
+                        inst.columns.size(), " columns"));
+  if (inst.chainsBuffer.size() != inst.colOps.size())
+    return shape(strCat(inst.chainsBuffer.size(), " chain flags for ",
+                        inst.colOps.size(), " ops"));
+
+  if (static_cast<int>(inst.rows.size()) > target.mraLimit()) {
+    Violation v = makeRuleViolation(
+        Rule::MraExceeded, index, inst,
+        strCat("CIM read activates ", inst.rows.size(),
+               " rows, exceeding the MRA limit ", target.mraLimit(), " of ",
+               target.tech.name));
+    return v;
+  }
+
+  if (!target.perColumnOps)
+    for (OpKind op : inst.colOps)
+      if (op != inst.colOps.front())
+        return makeRuleViolation(
+            Rule::PerColumnOps, index, inst,
+            "target lacks per-column op multiplexers but the instruction "
+            "mixes operations");
+
+  for (size_t i = 0; i < inst.colOps.size(); ++i) {
+    bool chains = inst.chainsBuffer[i];
+    if (chains && !target.bufferChaining)
+      return makeRuleViolation(
+          Rule::BufferChaining, index, inst,
+          strCat("column ", inst.columns[i],
+                 " chains the row buffer but the target does not support "
+                 "operand chaining"));
+    int operandBits = static_cast<int>(inst.rows.size()) + (chains ? 1 : 0);
+    if (ir::isUnary(inst.colOps[i])) {
+      if (operandBits != 1)
+        return makeRuleViolation(
+            Rule::OperandArity, index, inst,
+            strCat(ir::opName(inst.colOps[i]), " on column ",
+                   inst.columns[i], " senses ", operandBits,
+                   " bits; unary ops take exactly one"));
+    } else if (operandBits < 2) {
+      return makeRuleViolation(
+          Rule::OperandArity, index, inst,
+          strCat(ir::opName(inst.colOps[i]), " on column ", inst.columns[i],
+                 " senses ", operandBits, " bits; needs at least two"));
+    }
+    if (inst.rows.empty() && !chains)
+      return makeRuleViolation(
+          Rule::InstructionShape, index, inst,
+          strCat("rowless read requires every column to chain; column ",
+                 inst.columns[i], " does not"));
+  }
+  return std::nullopt;
+}
+
+VerifyResult verifyProgram(const ir::Graph& g, const isa::TargetSpec& target,
+                           const mapping::Program& program,
+                           const VerifyOptions& options) {
+  return Verifier(g, target, program, options).run();
+}
+
+void checkProgram(const ir::Graph& g, const isa::TargetSpec& target,
+                  const mapping::Program& program,
+                  const VerifyOptions& options) {
+  VerifyResult result = verifyProgram(g, target, program, options);
+  if (result.ok()) return;
+  const Violation& first = result.violations.front();
+  long index = first.instructionIndex == Violation::kNoInstruction
+                   ? VerificationError::kNoInstruction
+                   : static_cast<long>(first.instructionIndex);
+  throw VerificationError(
+      strCat("program verification failed (", result.violations.size(),
+             " violation", result.violations.size() == 1 ? "" : "s",
+             "):\n", result.summary()),
+      ruleName(first.rule), index);
+}
+
+bool verifyCompiledByDefault() {
+  if (const char* env = std::getenv("SHERLOCK_VERIFY"))
+    return env[0] != '0';
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace sherlock::verify

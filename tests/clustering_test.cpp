@@ -4,10 +4,14 @@
 // known.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 
 #include "ir/analysis.h"
+#include "isa/instruction.h"
 #include "mapping/clustering.h"
+#include "verify/verifier.h"
 #include "workloads/random_dag.h"
 
 namespace sherlock::mapping {
@@ -250,6 +254,57 @@ TEST(Refinement, NeverIncreasesCrossEdges) {
     auto after = findClusters(g, withRefine);
     EXPECT_LE(after.crossClusterEdges, before.crossClusterEdges)
         << "seed " << seed;
+  }
+}
+
+// Property (checked with the static verifier's per-instruction rules):
+// every cluster the engine emits is encodable under the scouting-logic
+// ISA — each member op's operands live in the same column (so one shared
+// activated-row set covers them) and its fan-in respects the technology's
+// MRA bound when the DAG's arity matches the target MRA.
+TEST(ClusterProperties, ClustersEncodableUnderIsaRules) {
+  for (uint64_t seed = 21; seed <= 26; ++seed) {
+    for (int mra : {2, 3, 4}) {
+      workloads::RandomDagSpec spec;
+      spec.seed = seed;
+      spec.ops = 150;
+      spec.maxArity = mra;
+      Graph g = workloads::buildRandomDag(spec);
+      isa::TargetSpec target = isa::TargetSpec::square(
+          64, device::TechnologyParams::reRam(), mra);
+      auto res = findClusters(g, opts(target.rows()));
+
+      for (size_t ci = 0; ci < res.clusters.size(); ++ci) {
+        const Cluster& c = res.clusters[ci];
+        ASSERT_LE(c.cellCount(), target.rows())
+            << "seed " << seed << " cluster " << ci;
+        // One row per value the column holds.
+        std::map<NodeId, int> rowOf;
+        for (NodeId cell : c.cells)
+          rowOf.emplace(cell, static_cast<int>(rowOf.size()));
+        int col = static_cast<int>(ci) % target.cols();
+
+        for (NodeId n : c.nodes) {
+          const ir::Node& node = g.node(n);
+          std::vector<int> rows;
+          for (NodeId o : node.operands) {
+            auto it = rowOf.find(o);
+            // Shared-activated-row constraint: every operand occupies a
+            // cell of this cluster's column.
+            ASSERT_NE(it, rowOf.end())
+                << "seed " << seed << " cluster " << ci << ": operand " << o
+                << " of node " << n << " has no cell in the cluster";
+            rows.push_back(it->second);
+          }
+          std::sort(rows.begin(), rows.end());
+          auto inst = isa::makeCimRead(0, {col}, rows, {node.op});
+          auto violation = verify::checkInstructionRules(inst, target);
+          EXPECT_FALSE(violation.has_value())
+              << "seed " << seed << " cluster " << ci << " node " << n
+              << ": " << violation->toString();
+        }
+      }
+    }
   }
 }
 

@@ -1,0 +1,95 @@
+// Seeded random-DAG sampling for the differential fuzz harness: one seed
+// deterministically picks a RandomDagSpec (width, op count, fan-in, op
+// mix, depth bias) and the compilation/simulation grid it runs against.
+//
+// Reproduction contract: every spec is a pure function of its seed, so a
+// CI failure report of the form "seed 137" reproduces locally with
+//   SHERLOCK_FUZZ_SEEDS=1 SHERLOCK_FUZZ_FIRST_SEED=137 ./differential_test
+// regardless of shard layout and execution order.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "device/technology.h"
+#include "isa/target.h"
+#include "mapping/compiler.h"
+#include "support/rng.h"
+#include "workloads/random_dag.h"
+
+namespace sherlock::testing {
+
+/// Deterministically samples the DAG shape for one fuzz seed: random
+/// widths, op mixes, fan-out (via locality) and depth (via op count and
+/// chain bias).
+inline workloads::RandomDagSpec sampleDagSpec(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  workloads::RandomDagSpec spec;
+  spec.seed = seed;
+  spec.inputs = static_cast<int>(rng.range(2, 24));
+  spec.ops = static_cast<int>(rng.range(4, 150));
+  spec.maxArity = static_cast<int>(rng.range(2, 4));
+  spec.notProbability = rng.uniform() * 0.35;
+  // Low locality produces deep chains, high locality wide reuse fan-out.
+  spec.locality = 0.15 + rng.uniform() * 0.85;
+  spec.useXor = rng.chance(0.8);
+  return spec;
+}
+
+/// One point of the compile grid the differential harness sweeps per DAG.
+struct FuzzConfig {
+  int dim;
+  device::Technology tech;
+  mapping::Strategy strategy;
+
+  std::string name() const {
+    return strCat(dim, "x", dim, "-",
+                  tech == device::Technology::ReRam ? "reram" : "stt", "-",
+                  strategy == mapping::Strategy::Naive ? "naive" : "opt");
+  }
+};
+
+/// Both mappers x both technologies x both array sizes = 8 configs.
+inline std::vector<FuzzConfig> fuzzConfigs() {
+  std::vector<FuzzConfig> configs;
+  for (int dim : {64, 256})
+    for (device::Technology tech :
+         {device::Technology::ReRam, device::Technology::SttMram})
+      for (mapping::Strategy strategy :
+           {mapping::Strategy::Naive, mapping::Strategy::Optimized})
+        configs.push_back({dim, tech, strategy});
+  return configs;
+}
+
+inline isa::TargetSpec fuzzTarget(const FuzzConfig& config, int mra) {
+  return isa::TargetSpec::square(
+      config.dim, device::TechnologyParams::forTechnology(config.tech), mra);
+}
+
+/// Positive integer environment override with a default (mirrors the
+/// defensive number parsing used by the tools).
+inline long envLong(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw) return fallback;
+  try {
+    size_t pos = 0;
+    long parsed = std::stol(raw, &pos);
+    if (pos == std::string(raw).size() && parsed >= 0) return parsed;
+  } catch (const std::exception&) {
+  }
+  return fallback;
+}
+
+/// Seeds per ctest shard: SHERLOCK_FUZZ_SEEDS (total across the 4 shards)
+/// scales the suite up or down; default 200 -> 50 per shard.
+inline long fuzzSeedsPerShard() {
+  long total = envLong("SHERLOCK_FUZZ_SEEDS", 200);
+  return (total + 3) / 4;
+}
+
+/// First seed of the whole run (SHERLOCK_FUZZ_FIRST_SEED, default 1).
+inline long fuzzFirstSeed() { return envLong("SHERLOCK_FUZZ_FIRST_SEED", 1); }
+
+}  // namespace sherlock::testing

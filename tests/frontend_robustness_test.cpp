@@ -1,0 +1,146 @@
+// Robustness tests for the kernel-language frontend: truncated, garbage
+// and adversarially nested sources must fail with a structured ParseError
+// (position included) — never a crash, a stack overflow, or an uncaught
+// non-Sherlock exception (the std::stoll out-of-range class of bug).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "frontend/lexer.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "support/diagnostics.h"
+#include "support/rng.h"
+
+namespace sherlock::frontend {
+namespace {
+
+const char kValidKernel[] =
+    "input w[16];\n"
+    "input p;\n"
+    "output error;\n"
+    "bit acc = 0;\n"
+    "for (i = 0; i < 16; i = i + 1) {\n"
+    "  acc = acc ^ w[i];\n"
+    "}\n"
+    "error = acc ^ p;\n";
+
+/// The frontend contract under test: compile either succeeds or throws a
+/// sherlock::Error. Anything else (std:: exceptions, crashes) escapes and
+/// fails the test.
+void compileTolerantly(const std::string& source) {
+  try {
+    compileKernel(source);
+  } catch (const Error&) {
+    // Structured failure: acceptable for malformed input.
+  }
+}
+
+TEST(Robustness, ValidKernelCompiles) {
+  EXPECT_NO_THROW(compileKernel(kValidKernel));
+}
+
+TEST(Robustness, EveryTruncationFailsStructurally) {
+  const std::string full = kValidKernel;
+  for (size_t len = 0; len < full.size(); ++len)
+    compileTolerantly(full.substr(0, len));
+}
+
+TEST(Robustness, GarbageSourcesFailStructurally) {
+  // Random byte soup, biased toward the language's alphabet so token-level
+  // and grammar-level paths are both exercised.
+  const std::string alphabet =
+      "abcxyz0123456789 \t\n()[]{};,=&|^~+-*<>/_ inputoutputbitfor\x01\xff";
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    std::string source;
+    size_t length = rng.below(200);
+    for (size_t i = 0; i < length; ++i)
+      source.push_back(alphabet[rng.below(alphabet.size())]);
+    compileTolerantly(source);
+  }
+}
+
+TEST(Robustness, DeeplyNestedParensRejected) {
+  std::string source = "input a;\noutput y;\ny = ";
+  for (int i = 0; i < 20000; ++i) source.push_back('(');
+  source += "a";
+  for (int i = 0; i < 20000; ++i) source.push_back(')');
+  source += ";\n";
+  EXPECT_THROW(compileKernel(source), ParseError);
+}
+
+TEST(Robustness, DeepUnaryChainRejected) {
+  std::string source = "input a;\noutput y;\ny = ";
+  source.append(20000, '~');
+  source += "a;\n";
+  EXPECT_THROW(compileKernel(source), ParseError);
+}
+
+TEST(Robustness, OverlongOperatorChainRejected) {
+  std::string source = "input a;\noutput y;\ny = a";
+  for (int i = 0; i < 20000; ++i) source += " ^ a";
+  source += ";\n";
+  EXPECT_THROW(compileKernel(source), ParseError);
+}
+
+TEST(Robustness, DeeplyNestedForLoopsRejected) {
+  std::string source = "input a;\noutput y;\n";
+  for (int i = 0; i < 2000; ++i)
+    source += strCat("for (i", i, " = 0; i", i, " < 1; i", i, " = i", i,
+                     " + 1) {\n");
+  source += "y = a;\n";
+  source.append(2000, '}');
+  EXPECT_THROW(compileKernel(source), ParseError);
+}
+
+TEST(Robustness, HugeIntegerLiteralRejected) {
+  // Would previously escape as std::out_of_range from std::stoll.
+  EXPECT_THROW(compileKernel("input a;\noutput y;\n"
+                             "y = a ^ 99999999999999999999999999;\n"),
+               ParseError);
+  try {
+    tokenize("99999999999999999999999999");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 1);
+  }
+}
+
+TEST(Robustness, HugeArraySizeRejected) {
+  EXPECT_THROW(compileKernel("input a[999999999];\noutput y;\ny = a;\n"),
+               ParseError);
+}
+
+TEST(Robustness, NonPositiveArraySizeRejectedWithPosition) {
+  try {
+    compileKernel("input a[0];\noutput y;\ny = a;\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_GT(e.column(), 1);
+  }
+}
+
+TEST(Robustness, UnterminatedBlockCommentRejected) {
+  EXPECT_THROW(compileKernel("input a;\n/* no end"), ParseError);
+}
+
+TEST(Robustness, UnexpectedCharacterRejected) {
+  EXPECT_THROW(compileKernel("input a;\noutput y;\ny = a @ a;\n"),
+               ParseError);
+}
+
+TEST(Robustness, UnboundedLoopHitsUnrollingLimit) {
+  EXPECT_THROW(compileKernel("input a;\noutput y;\n"
+                             "bit acc = 0;\n"
+                             "for (i = 0; i < 100000000; i = i + 1) {\n"
+                             "  acc = acc ^ a;\n"
+                             "}\n"
+                             "y = acc;\n"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace sherlock::frontend

@@ -83,14 +83,35 @@ TEST(Simulator, DetectsWrongProgram) {
 TEST(Simulator, ReadOfUnwrittenCellThrows) {
   MicroProgram m = makeMicro();
   m.prog.instructions[3].rows = {0, 5};  // row 5 never written
-  EXPECT_THROW(simulate(m.g, target64(), m.prog), SimulationError);
+  // The static pre-verification pins the violation to the instruction.
+  try {
+    simulate(m.g, target64(), m.prog);
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& e) {
+    EXPECT_EQ(e.instructionIndex(), 3);
+    EXPECT_STREQ(e.rule().c_str(), "read-before-write");
+  }
+  // The dynamic execution guard still catches it when static
+  // verification is off.
+  SimOptions raw;
+  raw.staticVerify = false;
+  EXPECT_THROW(simulate(m.g, target64(), m.prog, raw), SimulationError);
 }
 
 TEST(Simulator, ChainOfInvalidBufferThrows) {
   MicroProgram m = makeMicro();
   // Make the chained XOR the first read: buffer invalid.
   std::swap(m.prog.instructions[3], m.prog.instructions[4]);
-  EXPECT_THROW(simulate(m.g, target64(), m.prog), SimulationError);
+  try {
+    simulate(m.g, target64(), m.prog);
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& e) {
+    EXPECT_EQ(e.instructionIndex(), 3);
+    EXPECT_STREQ(e.rule().c_str(), "buffer-liveness");
+  }
+  SimOptions raw;
+  raw.staticVerify = false;
+  EXPECT_THROW(simulate(m.g, target64(), m.prog, raw), SimulationError);
 }
 
 TEST(Simulator, ShiftMovesBufferBits) {

@@ -30,6 +30,7 @@
 #include "mapping/program_analysis.h"
 #include "sim/simulator.h"
 #include "support/parallel.h"
+#include "verify/verifier.h"
 #include "transforms/nand_lowering.h"
 #include "transforms/passes.h"
 #include "transforms/substitution.h"
@@ -48,6 +49,7 @@ struct Options {
   double fraction = 1.0;
   bool nandLower = false;
   bool aggressive = false;  // -O: inverter folding pipeline
+  bool verify = false;      // --verify: static program verification
   int jobs = 0;             // 0: SHERLOCK_THREADS / hardware default
 };
 
@@ -63,6 +65,9 @@ struct Options {
          "                             node substitution (default 2)\n"
          "  --fraction <f>             substitution budget in [0,1]\n"
          "  --nand                     lower XOR/OR to NAND form first\n"
+         "  --verify                   statically verify the compiled\n"
+         "                             program (ISA/array rules + DAG\n"
+         "                             equivalence) and report violations\n"
          "  --jobs <N>                 compile input files with N parallel\n"
          "                             workers (default: SHERLOCK_THREADS\n"
          "                             or hardware concurrency)\n"
@@ -111,6 +116,7 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--fraction") o.fraction = nextDouble();
     else if (arg == "--jobs") o.jobs = nextInt();
     else if (arg == "--nand") o.nandLower = true;
+    else if (arg == "--verify") o.verify = true;
     else if (arg == "-O") o.aggressive = true;
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
@@ -166,7 +172,21 @@ std::string processFile(const std::string& inputFile, const Options& opts) {
   mapping::CompileOptions copts;
   copts.strategy = opts.strategy == "naive" ? mapping::Strategy::Naive
                                             : mapping::Strategy::Optimized;
+  // With --verify we run the verifier ourselves (full report below)
+  // instead of the facade's first-violation throw.
+  if (opts.verify) copts.verify = false;
   auto compiled = mapping::compile(g, target, copts);
+
+  if (opts.verify) {
+    verify::VerifyResult vr =
+        verify::verifyProgram(g, target, compiled.program);
+    if (!vr.ok())
+      throw Error(strCat("verification failed (", vr.violations.size(),
+                         " violation", vr.violations.size() == 1 ? "" : "s",
+                         "):\n", vr.summary()));
+    out << "# verify: ok (" << vr.checkedInstructions
+        << " instructions checked)\n";
+  }
 
   if (opts.emit == "asm") {
     out << "# sherlockc: " << inputFile << " -> " << target.tech.name << " "
