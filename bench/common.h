@@ -11,9 +11,11 @@
 // exactly this guarantee.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "cpu/cpu_model.h"
+#include "device/faultmap.h"
 #include "ir/analysis.h"
 #include "mapping/compiler.h"
 #include "sim/simulator.h"
@@ -59,6 +61,21 @@ struct RunConfig {
   double mraFraction = 1.0;
   /// Lower XOR/OR to NAND form first (STT-MRAM reliable flow, Fig. 6b).
   bool nandLowered = false;
+
+  /// Fault tolerance (bench_fault_tolerance): a positive stuck density
+  /// generates a persistent fault map (seeded by faultSeed) that
+  /// placement avoids and the simulator honors; spareRows reserves the
+  /// repair region; guarded turns on Monte-Carlo injection with
+  /// detect-and-retry execution. Defaults keep every other bench on the
+  /// perfect-array path.
+  double faultStuckDensity = 0.0;
+  double faultWeakDensity = 0.0;
+  uint64_t faultSeed = 1;
+  int spareRows = 0;
+  /// Monte-Carlo decision-failure injection (without guarding: the
+  /// unprotected baseline the yield table contrasts against).
+  bool injectFaults = false;
+  bool guarded = false;
 };
 
 struct RunResult {
@@ -103,10 +120,27 @@ inline RunResult runPipeline(const ir::Graph& canonical,
     final = &merged;
   }
 
+  std::optional<device::FaultMap> faultMap;
+  if (cfg.faultStuckDensity > 0.0 || cfg.faultWeakDensity > 0.0) {
+    device::FaultMapOptions fo;
+    fo.seed = cfg.faultSeed;
+    fo.stuckDensity = cfg.faultStuckDensity;
+    fo.weakDensity = cfg.faultWeakDensity;
+    faultMap = device::FaultMap::generate(target.numArrays, target.rows(),
+                                          target.cols(), fo);
+  }
+
   mapping::CompileOptions copts;
   copts.strategy = cfg.strategy;
+  copts.faults.map = faultMap ? &*faultMap : nullptr;
+  copts.faults.spareRows = cfg.spareRows;
   auto compiled = mapping::compile(*final, target, copts);
-  out.sim = sim::simulate(*final, target, compiled.program);
+  sim::SimOptions sopts;
+  sopts.faultMap = copts.faults.map;
+  sopts.guardedExecution = cfg.guarded;
+  sopts.injectFaults = cfg.injectFaults || cfg.guarded;
+  sopts.faultSeed = cfg.faultSeed;
+  out.sim = sim::simulate(*final, target, compiled.program, sopts);
   out.stats = compiled.program.stats;
   out.instructionCount = compiled.program.instructions.size();
   out.opCount = final->opCount();

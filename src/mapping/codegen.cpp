@@ -25,7 +25,7 @@ class CodeGenerator {
         target_(target),
         plan_(plan),
         options_(options),
-        layout_(target),
+        layout_(target, options.faults),
         buffer_(static_cast<size_t>(target.numArrays)) {}
 
   Program run() {
@@ -631,6 +631,7 @@ class CodeGenerator {
   void finalize() {
     prog_.usedColumns = static_cast<int>(touched_.size());
     prog_.peakLiveCells = layout_.peakLiveCells();
+    prog_.stats.spareRowAllocations = layout_.spareAllocations();
   }
 
   void touch(int arrayId, int col) {

@@ -52,6 +52,11 @@ struct CodegenOptions {
   /// Both orders respect dependencies; the ablation bench compares them.
   enum class WaveOrder { BLevel, TLevel };
   WaveOrder waveOrder = WaveOrder::BLevel;
+
+  /// Fault-aware cell allocation (see mapping/layout.h): every Layout
+  /// allocation — preloads, spills, movement targets — avoids faulty
+  /// cells and falls back to the spare-row repair region.
+  FaultPolicy faults;
 };
 
 /// Generates the instruction stream for `g` mapped per `plan` onto

@@ -38,6 +38,10 @@ struct CompileOptions {
   std::optional<bool> verify;
   /// Eq. 1 clustering constants (optimized strategy only).
   OptMapperOptions optimizer;
+  /// Fault-aware placement: consult the map, avoid faulty cells, repair
+  /// collisions into spare rows (see mapping/layout.h). The verifier run
+  /// (when enabled) proves the program touches no stuck cell.
+  FaultPolicy faults;
 };
 
 struct CompileResult {
@@ -53,20 +57,25 @@ inline CompileResult compile(const ir::Graph& g,
   CompileResult result;
   bool optimized = options.strategy == Strategy::Optimized;
   if (optimized) {
-    OptMapping m = mapOptimized(g, target, options.optimizer);
+    OptMapping m = mapOptimized(g, target, options.optimizer,
+                                options.faults);
     result.plan = std::move(m.plan);
     result.clustering = std::move(m.clustering);
   } else {
-    result.plan = mapNaive(g, target);
+    result.plan = mapNaive(g, target, options.faults);
   }
   CodegenOptions cg;
   cg.mergeInstructions = options.mergeInstructions.value_or(optimized);
   cg.eagerWriteback = options.eagerWriteback.value_or(!optimized);
   cg.reuseMovedCopies = optimized;
   cg.waveOrder = options.waveOrder;
+  cg.faults = options.faults;
   result.program = generateCode(g, target, result.plan, cg);
-  if (options.verify.value_or(verify::verifyCompiledByDefault()))
-    verify::checkProgram(g, target, result.program);
+  if (options.verify.value_or(verify::verifyCompiledByDefault())) {
+    verify::VerifyOptions vopts;
+    vopts.faultMap = options.faults.map;
+    verify::checkProgram(g, target, result.program, vopts);
+  }
   return result;
 }
 

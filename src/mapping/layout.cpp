@@ -4,20 +4,43 @@
 
 namespace sherlock::mapping {
 
-Layout::Layout(const isa::TargetSpec& target)
+int usablePlanningCells(const isa::TargetSpec& target,
+                        const FaultPolicy& faults, int arrayId, int col) {
+  int mainLimit = target.rows() - std::min(faults.spareRows, target.rows());
+  if (!faults.map) return mainLimit;
+  return faults.map->usableCellsInColumn(arrayId, col, mainLimit);
+}
+
+Layout::Layout(const isa::TargetSpec& target, const FaultPolicy& faults)
     : rows_(target.rows()),
       cols_(target.cols()),
-      numArrays_(target.numArrays) {
+      numArrays_(target.numArrays),
+      faults_(faults) {
   checkArg(rows_ > 0 && cols_ > 0 && numArrays_ > 0,
            "target must have positive dimensions");
-  freeRows_.resize(static_cast<size_t>(cols_) * numArrays_);
-  residents_.resize(static_cast<size_t>(cols_) * numArrays_);
-  for (auto& freeList : freeRows_) {
-    freeList.resize(static_cast<size_t>(rows_));
-    // Descending so pop_back hands out the lowest row first.
-    for (int r = 0; r < rows_; ++r)
-      freeList[static_cast<size_t>(r)] = rows_ - 1 - r;
+  checkArg(faults.spareRows >= 0, "spare row count must be >= 0");
+  if (faults.map) {
+    checkArg(faults.map->numArrays() == numArrays_ &&
+                 faults.map->rows() == rows_ && faults.map->cols() == cols_,
+             strCat("fault map dimensions (", faults.map->numArrays(), "x",
+                    faults.map->rows(), "x", faults.map->cols(),
+                    ") do not match the target (", numArrays_, "x", rows_,
+                    "x", cols_, ")"));
   }
+  spareRows_ = std::min(faults.spareRows, rows_);
+  mainRowLimit_ = rows_ - spareRows_;
+  freeRows_.resize(static_cast<size_t>(cols_) * numArrays_);
+  spareFree_.resize(static_cast<size_t>(cols_) * numArrays_);
+  residents_.resize(static_cast<size_t>(cols_) * numArrays_);
+  for (int a = 0; a < numArrays_; ++a)
+    for (int c = 0; c < cols_; ++c) {
+      size_t idx = static_cast<size_t>(a) * cols_ + c;
+      // Descending so pop_back hands out the lowest row first.
+      for (int r = rows_ - 1; r >= 0; --r) {
+        if (faults_.map && !faults_.map->isUsable(a, r, c)) continue;
+        (r < mainRowLimit_ ? freeRows_ : spareFree_)[idx].push_back(r);
+      }
+    }
 }
 
 int Layout::columnIndex(ColumnRef where) const {
@@ -29,13 +52,31 @@ int Layout::columnIndex(ColumnRef where) const {
 }
 
 CellAddress Layout::allocate(ir::NodeId value, ColumnRef where) {
-  auto& freeList = freeRows_[static_cast<size_t>(columnIndex(where))];
-  if (freeList.empty())
+  size_t idx = static_cast<size_t>(columnIndex(where));
+  auto* freeList = &freeRows_[idx];
+  if (freeList->empty() && !spareFree_[idx].empty()) {
+    // Repair: the main region is exhausted (faults punched holes in it or
+    // the program is simply dense); remap into the spare-row region.
+    freeList = &spareFree_[idx];
+    ++spareAllocations_;
+  }
+  if (freeList->empty()) {
+    std::string detail;
+    if (faults_.active()) {
+      int unusable = rows_ - (faults_.map ? faults_.map->usableCellsInColumn(
+                                                where.arrayId, where.col,
+                                                rows_)
+                                          : rows_);
+      detail = strCat("; ", unusable, " of ", rows_,
+                      " rows unusable due to faults, ", spareRows_,
+                      " spare rows all in use");
+    }
     throw MappingError(strCat("column ", where.col, " of array ",
-                              where.arrayId,
-                              " is full (value ", value, ")"));
-  int row = freeList.back();
-  freeList.pop_back();
+                              where.arrayId, " is full (value ", value, ")",
+                              detail));
+  }
+  int row = freeList->back();
+  freeList->pop_back();
   CellAddress cell{where.arrayId, where.col, row};
   placements_[value].push_back(cell);
   residents_[static_cast<size_t>(columnIndex(where))].insert(value);
@@ -45,8 +86,8 @@ CellAddress Layout::allocate(ir::NodeId value, ColumnRef where) {
 }
 
 int Layout::freeCells(ColumnRef where) const {
-  return static_cast<int>(
-      freeRows_[static_cast<size_t>(columnIndex(where))].size());
+  size_t idx = static_cast<size_t>(columnIndex(where));
+  return static_cast<int>(freeRows_[idx].size() + spareFree_[idx].size());
 }
 
 bool Layout::isPlaced(ir::NodeId value) const {
@@ -75,8 +116,10 @@ std::vector<CellAddress> Layout::placements(ir::NodeId value) const {
 }
 
 void Layout::freeCell(const CellAddress& cell) {
+  size_t idx =
+      static_cast<size_t>(columnIndex({cell.arrayId, cell.col}));
   auto& freeList =
-      freeRows_[static_cast<size_t>(columnIndex({cell.arrayId, cell.col}))];
+      (cell.row < mainRowLimit_ ? freeRows_ : spareFree_)[idx];
   // Keep descending order so the lowest row is reused first.
   auto pos = std::lower_bound(freeList.begin(), freeList.end(), cell.row,
                               std::greater<int>{});

@@ -10,10 +10,26 @@
 #include <set>
 #include <vector>
 
+#include "device/faultmap.h"
 #include "ir/graph.h"
 #include "isa/target.h"
 
 namespace sherlock::mapping {
+
+/// Fault-aware placement policy. With a fault map, placement never hands
+/// out stuck or weak cells (weak cells would silently inflate P_app, so
+/// they are treated as unusable at placement time too). `spareRows`
+/// reserves the top rows of every column as a repair region: normal
+/// allocation fills the main region only, and a column whose main region
+/// is exhausted — typically because faults punched holes in it — repairs
+/// the collision by remapping the value into a spare row of the same
+/// column. Repairs are counted so tooling can report spare utilization.
+struct FaultPolicy {
+  const device::FaultMap* map = nullptr;
+  int spareRows = 0;
+
+  bool active() const { return map != nullptr || spareRows > 0; }
+};
 
 /// Physical location of one value bit-slice.
 struct CellAddress {
@@ -34,17 +50,32 @@ struct ColumnRef {
   auto operator<=>(const ColumnRef&) const = default;
 };
 
+/// Cells of a column that planning may count on: usable (non-faulty)
+/// cells below the spare-row boundary. Used by the mappers to size
+/// per-column packing budgets consistently with Layout's free lists.
+int usablePlanningCells(const isa::TargetSpec& target,
+                        const FaultPolicy& faults, int arrayId, int col);
+
 class Layout {
  public:
-  explicit Layout(const isa::TargetSpec& target);
+  explicit Layout(const isa::TargetSpec& target,
+                  const FaultPolicy& faults = {});
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int numArrays() const { return numArrays_; }
 
-  /// Allocates a free cell in the given column for `value` and records the
-  /// placement. Throws MappingError when the column is full.
+  /// Allocates a free cell in the given column for `value` and records
+  /// the placement. The main region is preferred; when faults exhausted
+  /// it the allocation is repaired into a spare row. Throws MappingError
+  /// when both regions are full.
   CellAddress allocate(ir::NodeId value, ColumnRef where);
+
+  /// Repair allocations served from the spare-row region so far.
+  long spareAllocations() const { return spareAllocations_; }
+
+  /// Spare rows reserved per column (clamped to the array height).
+  int spareRows() const { return spareRows_; }
 
   /// Free cells remaining in a column.
   int freeCells(ColumnRef where) const;
@@ -88,12 +119,18 @@ class Layout {
   int rows_;
   int cols_;
   int numArrays_;
+  FaultPolicy faults_;
+  int spareRows_ = 0;      // clamped copy of faults_.spareRows
+  int mainRowLimit_ = 0;   // rows [0, mainRowLimit_) form the main region
+  long spareAllocations_ = 0;
 
   void freeCell(const CellAddress& cell);
 
   // Per column: free row indices (kept descending so the lowest row is
-  // handed out first).
+  // handed out first). Rows at or above mainRowLimit_ live in spareFree_
+  // instead; faulty rows appear in neither list.
   std::vector<std::vector<int>> freeRows_;
+  std::vector<std::vector<int>> spareFree_;
   // value -> its placements.
   std::map<ir::NodeId, std::vector<CellAddress>> placements_;
   // column index -> values resident there (eviction support).

@@ -1,10 +1,12 @@
 #include "mapping/naive_mapper.h"
 
 #include "ir/analysis.h"
+#include "mapping/layout.h"
 
 namespace sherlock::mapping {
 
-PlacementPlan mapNaive(const ir::Graph& g, const isa::TargetSpec& target) {
+PlacementPlan mapNaive(const ir::Graph& g, const isa::TargetSpec& target,
+                       const FaultPolicy& faults) {
   PlacementPlan plan;
   plan.opLocation.resize(g.numNodes());
   plan.leafColumns.resize(g.numNodes());
@@ -18,15 +20,27 @@ PlacementPlan mapNaive(const ir::Graph& g, const isa::TargetSpec& target) {
   auto columnOf = [&](int globalCol) {
     return ColumnRef{globalCol / target.cols(), globalCol % target.cols()};
   };
+  // Per-column packing budget: with faults, only usable cells below the
+  // spare-row boundary count (the spare region is the repair reserve).
+  auto capacityOf = [&](int globalCol) {
+    ColumnRef c = columnOf(globalCol);
+    return usablePlanningCells(target, faults, c.arrayId, c.col);
+  };
+  int capacity = capacityOf(0);
   auto reserveCell = [&] {
-    if (index >= m) {
+    while (index >= capacity) {  // skips fully-faulty columns too
       ++cursor;
       index = 0;
       if (cursor >= totalColumns)
         throw MappingError(
             strCat("naive mapping needs more than ", totalColumns,
                    " columns (", target.numArrays, " arrays of ",
-                   target.cols(), "x", m, ")"));
+                   target.cols(), "x", m, ")",
+                   faults.active() ? strCat("; fault policy reserves ",
+                                            faults.spareRows,
+                                            " spare rows per column")
+                                   : ""));
+      capacity = capacityOf(cursor);
     }
     ++index;
     return columnOf(cursor);

@@ -9,12 +9,16 @@
 
 #include "ir/graph.h"
 #include "isa/target.h"
+#include "mapping/layout.h"
 #include "mapping/placement.h"
 
 namespace sherlock::mapping {
 
-/// Produces the Algorithm 1 placement plan. Throws MappingError when the
-/// DAG cannot fit the target's arrays.
-PlacementPlan mapNaive(const ir::Graph& g, const isa::TargetSpec& target);
+/// Produces the Algorithm 1 placement plan. With a fault policy, packing
+/// only counts usable cells below the spare-row boundary, so placement
+/// steps over faulty cells and fully-faulty columns. Throws MappingError
+/// when the DAG cannot fit the target's arrays.
+PlacementPlan mapNaive(const ir::Graph& g, const isa::TargetSpec& target,
+                       const FaultPolicy& faults = {});
 
 }  // namespace sherlock::mapping

@@ -5,19 +5,44 @@
 namespace sherlock::mapping {
 
 OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
-                        const OptMapperOptions& options) {
-  const int m = target.rows();
-  const int capacity =
-      std::max(2, static_cast<int>(m * options.capacityFraction));
-
+                        const OptMapperOptions& options,
+                        const FaultPolicy& faults) {
   const int totalColumns = target.cols() * target.numArrays;
+
+  // Columns a cluster may land on, in global order. With faults, columns
+  // too damaged to hold even a minimal cluster are skipped and the
+  // cluster budget is sized to the worst surviving column so any cluster
+  // fits any assigned column.
+  std::vector<int> usableColumns;
+  int planningRows = usablePlanningCells(target, faults, 0, 0);
+  if (faults.map) {
+    planningRows = 0;
+    for (int globalCol = 0; globalCol < totalColumns; ++globalCol) {
+      int u = usablePlanningCells(target, faults,
+                                  globalCol / target.cols(),
+                                  globalCol % target.cols());
+      if (u < 2) continue;
+      usableColumns.push_back(globalCol);
+      planningRows = planningRows == 0 ? u : std::min(planningRows, u);
+    }
+    if (usableColumns.empty())
+      throw MappingError(
+          "fault map leaves no usable columns for optimized mapping");
+  } else {
+    for (int globalCol = 0; globalCol < totalColumns; ++globalCol)
+      usableColumns.push_back(globalCol);
+  }
+
+  const int capacity = std::max(
+      2, static_cast<int>(planningRows * options.capacityFraction));
+
   ClusteringOptions copt;
   copt.columnCapacity = capacity;
   // k = number of columns the DAG's operands require (Algorithm 2 line 3).
   copt.targetClusters = static_cast<int>(
       (g.valueCount() + static_cast<size_t>(capacity) - 1) /
       static_cast<size_t>(capacity));
-  copt.maxClusters = totalColumns;
+  copt.maxClusters = static_cast<int>(usableColumns.size());
   copt.alpha = options.alpha;
   copt.beta = options.beta;
   copt.seed = options.seed;
@@ -34,8 +59,9 @@ OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
   plan.usedColumns = static_cast<int>(clusters.size());
 
   auto columnOf = [&](int clusterIdx) {
-    return ColumnRef{clusterIdx / target.cols(),
-                     clusterIdx % target.cols()};
+    int globalCol = usableColumns[static_cast<size_t>(clusterIdx)];
+    return ColumnRef{globalCol / target.cols(),
+                     globalCol % target.cols()};
   };
 
   for (size_t ci = 0; ci < clusters.size(); ++ci) {
@@ -56,7 +82,7 @@ OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
     }
     if (cols.empty() && std::find(g.outputs().begin(), g.outputs().end(),
                                   i) != g.outputs().end())
-      cols.push_back(ColumnRef{0, 0});  // unconsumed output leaf
+      cols.push_back(columnOf(0));  // unconsumed output leaf
     std::sort(cols.begin(), cols.end());
     plan.leafColumns[static_cast<size_t>(i)] = std::move(cols);
   }

@@ -9,6 +9,7 @@
 #include "ir/graph.h"
 #include "isa/target.h"
 #include "mapping/clustering.h"
+#include "mapping/layout.h"
 #include "mapping/placement.h"
 
 namespace sherlock::mapping {
@@ -30,9 +31,12 @@ struct OptMapping {
   ClusteringResult clustering;
 };
 
-/// Produces the Algorithm 2 placement plan. Throws MappingError when the
-/// clusters cannot fit the target's columns.
+/// Produces the Algorithm 2 placement plan. With a fault policy, clusters
+/// are budgeted against the worst usable column and assigned only to
+/// columns that can actually hold one (dead columns are skipped). Throws
+/// MappingError when the clusters cannot fit the target's columns.
 OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
-                        const OptMapperOptions& options = {});
+                        const OptMapperOptions& options = {},
+                        const FaultPolicy& faults = {});
 
 }  // namespace sherlock::mapping

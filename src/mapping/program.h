@@ -22,6 +22,9 @@ struct CodegenStats {
   long moves = 0;            ///< inter-array bus transfers
   long mergedInstructions = 0;  ///< instructions saved by merging
   long chainedOperands = 0;  ///< operands consumed from the row buffer
+  /// Allocations repaired into the spare-row region (fault-aware
+  /// placement only; not an instruction count).
+  long spareRowAllocations = 0;
 
   long totalInstructions() const {
     return hostWrites + cimReads + plainReads + spillWrites + shifts + moves;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "device/reliability.h"
@@ -69,11 +71,38 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
   if (options.staticVerify) {
     // Structural rules only: the functional run below compares outputs
     // against the reference evaluator on concrete inputs, which subsumes
-    // the symbolic equivalence check.
+    // the symbolic equivalence check. The fault map is deliberately NOT
+    // passed here: simulating a program on a map it was not compiled
+    // against is a supported experiment (the mismatch surfaces as
+    // corruption), not a static error.
     verify::VerifyOptions vopts;
     vopts.checkEquivalence = false;
     verify::checkProgram(g, target, program, vopts);
   }
+
+  if (options.faultMap)
+    checkArg(options.faultMap->numArrays() == target.numArrays &&
+                 options.faultMap->rows() == target.rows() &&
+                 options.faultMap->cols() == target.cols(),
+             "fault map dimensions do not match the simulation target");
+  // Endurance wear-out mutates the map (rows convert to stuck past the
+  // write budget), so wear runs work on a private copy; the caller's map
+  // is never modified by simulation.
+  std::optional<device::FaultMap> wearMap;
+  if (options.faultMap && options.faultMap->options().rowWriteBudget > 0)
+    wearMap = *options.faultMap;
+  device::FaultMap* mutableMap = wearMap ? &*wearMap : nullptr;
+  const device::FaultMap* fmap = wearMap ? &*wearMap : options.faultMap;
+  auto stuckWord = [&](int a, int r, int c) -> uint64_t {
+    return fmap->stuckBit(a, r, c) ? ~uint64_t{0} : uint64_t{0};
+  };
+  // Each weak cell sensed by an op multiplies its P_DF (clamped to the
+  // discrimination bound 0.5, the same ceiling the device model uses).
+  auto inflatePdf = [&](double pdf, int weakCells) -> double {
+    if (weakCells <= 0 || pdf <= 0.0) return pdf;
+    return std::min(
+        0.5, pdf * std::pow(fmap->options().weakPdfMultiplier, weakCells));
+  };
 
   arraymodel::ArrayCostModel cost(target.geometry, target.tech);
   const int rows = target.rows();
@@ -172,17 +201,41 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
         // Functional: compute all columns against the pre-read buffer,
         // then commit.
         std::vector<uint64_t> newBits(inst.columns.size());
+        // Weak cells sensed per column (fault map only) inflate P_DF.
+        std::vector<int> weakPerCol(inst.columns.size(), 0);
+        // Guarded execution: the controller re-senses the instruction in
+        // lockstep until every guarded column's value and check read
+        // agree, so latency/energy pay for the deepest column's senses.
+        int maxSenses = 1;
+        int degradedCols = 0;
+        auto inject = [&](uint64_t word, double p) -> uint64_t {
+          if (!options.injectFaults) return word;
+          uint64_t flips = sampleFaultMask(p);
+          if (flips) {
+            word ^= flips;
+            result.injectedFaults += static_cast<long>(std::popcount(flips));
+          }
+          return word;
+        };
         for (size_t i = 0; i < inst.columns.size(); ++i) {
           int c = inst.columns[i];
           std::vector<uint64_t> operands;
           operands.reserve(inst.rows.size() + 1);
           for (int r : inst.rows) {
             size_t ci = arr.cellIndex(r, c);
+            if (fmap && fmap->isStuck(inst.arrayId, r, c)) {
+              // Persistent fault: the sensed bit is physically pinned
+              // regardless of what (if anything) was programmed.
+              operands.push_back(stuckWord(inst.arrayId, r, c));
+              result.stuckCellReads++;
+              continue;
+            }
             if (!arr.cellWritten[ci])
               throw SimulationError(
                   strCat("instruction ", idx, ": read of unwritten cell (",
                          inst.arrayId, ",", r, ",", c, ")"));
             operands.push_back(arr.cells[ci]);
+            if (fmap && fmap->isWeak(inst.arrayId, r, c)) ++weakPerCol[i];
           }
           if (inst.colOps.empty()) {
             // Plain read: load the single cell into the buffer.
@@ -197,7 +250,7 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
                            " of array ", inst.arrayId));
               operands.push_back(arr.buffer[static_cast<size_t>(c)]);
             }
-            newBits[i] = ir::evalOp(inst.colOps[i], operands);
+            uint64_t trueWord = ir::evalOp(inst.colOps[i], operands);
             // Reliability accounting: r activated rows per column op.
             int activated = static_cast<int>(inst.rows.size());
             double pdf = 0.0;
@@ -205,31 +258,112 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
               pdf = pdfOf(device::senseKindOf(inst.colOps[i]), activated);
             else if (activated == 1)
               pdf = pdfOf(device::SenseKind::PlainRead, 1);
-            failures.add(pdf);
-            if (options.injectFaults) {
-              uint64_t flips = sampleFaultMask(pdf);
-              if (flips) {
-                newBits[i] ^= flips;
-                result.injectedFaults +=
-                    static_cast<long>(std::popcount(flips));
+            double effPdf = inflatePdf(pdf, weakPerCol[i]);
+            // P_app stays the analytic per-sense failure model (weak
+            // inflation included, guarding excluded): it is the unguarded
+            // reference guarded runs are compared against.
+            failures.add(effPdf);
+            result.cimColumnOps++;
+            // Degrade: replace the scouting sense by single-row plain
+            // reads (MRA 1, the widest sense margin) combined digitally
+            // in the row-buffer logic — slower but near-failure-free.
+            auto degradeSense = [&]() -> uint64_t {
+              result.degradedOps++;
+              ++degradedCols;
+              double pPlain = pdfOf(device::SenseKind::PlainRead, 1);
+              std::vector<uint64_t> split;
+              split.reserve(operands.size());
+              for (size_t oi = 0; oi < inst.rows.size(); ++oi) {
+                int r = inst.rows[oi];
+                double pr = (fmap && fmap->isWeak(inst.arrayId, r, c))
+                                ? inflatePdf(pPlain, 1)
+                                : pPlain;
+                split.push_back(inject(operands[oi], pr));
+              }
+              if (inst.chainsBuffer[i])
+                split.push_back(operands.back());  // digital, fault-free
+              return ir::evalOp(inst.colOps[i], split);
+            };
+            uint64_t value;
+            if (options.guardedExecution &&
+                effPdf > options.degradePdfThreshold) {
+              // Too risky to sense at full MRA at all: a check-read pair
+              // misses failures where both samples flip the same lane
+              // (~P_DF^2 per lane), which stops being negligible here.
+              result.guardedOps++;
+              value = degradeSense();
+            } else {
+              value = inject(trueWord, effPdf);
+              if (options.guardedExecution &&
+                  effPdf > options.guardPdfThreshold) {
+                // Guard: duplicate the scouting op as a check read; retry
+                // while the two samples disagree, up to the budget.
+                result.guardedOps++;
+                uint64_t check = inject(trueWord, effPdf);
+                int senses = 2;
+                int tries = 0;
+                while (value != check && tries < options.retryBudget) {
+                  ++tries;
+                  result.retriedOps++;
+                  value = inject(trueWord, effPdf);
+                  check = inject(trueWord, effPdf);
+                  senses += 2;
+                }
+                maxSenses = std::max(maxSenses, senses);
+                // Budget exhausted on persistent disagreement: fall back
+                // to the degraded sense as well.
+                if (value != check) value = degradeSense();
               }
             }
-            result.cimColumnOps++;
+            newBits[i] = value;
           }
         }
         if (inst.colOps.empty()) {
           double pdf = pdfOf(device::SenseKind::PlainRead, 1);
           for (size_t i = 0; i < inst.columns.size(); ++i) {
-            failures.add(pdf);
-            if (options.injectFaults) {
-              uint64_t flips = sampleFaultMask(pdf);
-              if (flips) {
-                newBits[i] ^= flips;
-                result.injectedFaults +=
-                    static_cast<long>(std::popcount(flips));
+            double effPdf = inflatePdf(pdf, weakPerCol[i]);
+            failures.add(effPdf);
+            uint64_t truth = newBits[i];
+            uint64_t value = inject(truth, effPdf);
+            if (options.guardedExecution &&
+                effPdf > options.guardPdfThreshold) {
+              // Plain reads above the threshold get the same check-read
+              // guard as scouting ops. There is no lower sensing mode to
+              // degrade to (MRA is already 1), so after an exhausted
+              // budget the last sample stands (residual ~P_DF^2).
+              result.guardedOps++;
+              uint64_t check = inject(truth, effPdf);
+              int senses = 2;
+              int tries = 0;
+              while (value != check && tries < options.retryBudget) {
+                ++tries;
+                result.retriedOps++;
+                value = inject(truth, effPdf);
+                check = inject(truth, effPdf);
+                senses += 2;
               }
+              maxSenses = std::max(maxSenses, senses);
             }
+            newBits[i] = value;
           }
+        }
+        // Guarded-execution timing: extra lockstep senses re-activate the
+        // full row set; a degraded instruction additionally replays each
+        // activated row as a single-row read and combines in the buffer.
+        if (maxSenses > 1) {
+          double extra = maxSenses - 1;
+          now += extra * cost.readLatencyNs();
+          result.energyPj +=
+              extra * cost.readEnergyPj(
+                          static_cast<int>(inst.rows.size()),
+                          static_cast<int>(inst.columns.size()));
+        }
+        if (degradedCols > 0) {
+          now += static_cast<double>(inst.rows.size()) *
+                     cost.readLatencyNs() +
+                 kBufferOpLatencyNs;
+          result.energyPj += static_cast<double>(inst.rows.size()) *
+                             cost.readEnergyPj(1, degradedCols);
         }
         for (size_t i = 0; i < inst.columns.size(); ++i) {
           arr.buffer[static_cast<size_t>(inst.columns[i])] = newBits[i];
@@ -241,6 +375,14 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
       case InstKind::Write: {
         result.writeCount++;
         int row = inst.rows[0];
+        if (mutableMap) {
+          // Endurance: one programming pulse on the row; crossing the
+          // budget converts its cells to stuck-at-LRS inside noteRowWrite,
+          // so later reads of the row return the pinned state.
+          long count = mutableMap->noteRowWrite(inst.arrayId, row);
+          if (count == mutableMap->options().rowWriteBudget + 1)
+            result.wornRows++;
+        }
         auto hostIt = program.hostWriteValues.find(idx);
         for (size_t i = 0; i < inst.columns.size(); ++i) {
           int c = inst.columns[i];
@@ -256,6 +398,10 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
             word = arr.buffer[static_cast<size_t>(c)];
           }
           size_t ci = arr.cellIndex(row, c);
+          if (fmap && fmap->isStuck(inst.arrayId, row, c))
+            // Programming a stuck cell has no effect: it keeps its pinned
+            // value (reads force it; mark written so they do not throw).
+            word = stuckWord(inst.arrayId, row, c);
           arr.cells[ci] = word;
           arr.cellWritten[ci] = true;
         }
@@ -329,15 +475,23 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
       const mapping::CellAddress& cell = it->second;
       const ArrayState& arr2 = arrayAt(cell.arrayId);
       size_t ci = arr2.cellIndex(cell.row, cell.col);
-      if (!arr2.cellWritten[ci])
+      uint64_t actual = arr2.cells[ci];
+      bool written = arr2.cellWritten[ci];
+      if (fmap && fmap->isStuck(cell.arrayId, cell.row, cell.col)) {
+        // A stuck output cell holds its pinned value no matter what the
+        // program did (including wear-out mid-run).
+        actual = stuckWord(cell.arrayId, cell.row, cell.col);
+        written = true;
+      }
+      if (!written)
         throw SimulationError(
             strCat("output ", out, " cell (array ", cell.arrayId, ", row ",
                    cell.row, ", col ", cell.col, ") never written"));
-      uint64_t diff = arr2.cells[ci] ^ reference[static_cast<size_t>(out)];
+      uint64_t diff = actual ^ reference[static_cast<size_t>(out)];
       if (diff != 0) {
-        if (options.injectFaults) {
-          // Injected decision failures legitimately corrupt lanes; record
-          // them instead of failing verification.
+        if (options.injectFaults || fmap) {
+          // Injected decision failures and persistent faults legitimately
+          // corrupt lanes; record them instead of failing verification.
           result.corruptedOutputLanes |= diff;
         } else {
           throw SimulationError(strCat(
@@ -349,7 +503,9 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
         }
       }
     }
-    result.verified = !options.injectFaults;
+    // The actual comparison outcome: clean injection/fault runs report
+    // verified=true instead of being pessimistically marked false.
+    result.verified = result.corruptedOutputLanes == 0;
   }
 
   return result;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "arraymodel/array_model.h"
+#include "device/faultmap.h"
 #include "ir/graph.h"
 #include "isa/target.h"
 #include "mapping/program.h"
@@ -58,6 +59,33 @@ struct SimOptions {
   /// lanes in SimResult::corruptedOutputLanes instead of throwing.
   bool injectFaults = false;
   uint64_t faultSeed = 1;
+
+  /// Persistent cell-fault model (device/faultmap.h). Stuck cells read as
+  /// their pinned bit and ignore writes; weak cells multiply the P_DF of
+  /// every scouting op sensing them (injection and the analytic P_app
+  /// both see the inflated value); with a positive row write budget,
+  /// rows wear out mid-run and convert to stuck-at-LRS. Output
+  /// verification REPORTS mismatches in corruptedOutputLanes instead of
+  /// throwing, like injectFaults. Dimensions must match the target.
+  const device::FaultMap* faultMap = nullptr;
+
+  /// Guarded detect-and-retry execution: every scouting column-op whose
+  /// effective P_DF exceeds `guardPdfThreshold` is duplicated as a check
+  /// read; on mismatch the op is re-sensed up to `retryBudget` times
+  /// (lockstep across the instruction's columns, with full latency and
+  /// energy accounting). When the budget is exhausted the op degrades
+  /// gracefully: it is split into single-row plain reads (MRA 1, the
+  /// lowest-risk sensing mode) combined digitally in the row-buffer
+  /// logic. Ops whose effective P_DF exceeds `degradePdfThreshold` skip
+  /// the risky sense and degrade immediately: a check-read pair only
+  /// detects a failure when the two samples disagree, so its residual
+  /// undetected-error rate is ~P_DF^2 per lane — acceptable at 1e-4
+  /// (STT-MRAM XOR at 2 rows) but not at the ~3e-3 of 3-row senses.
+  /// Counters land in SimResult::{guarded,retried,degraded}Ops.
+  bool guardedExecution = false;
+  double guardPdfThreshold = 1e-9;
+  double degradePdfThreshold = 1e-3;
+  int retryBudget = 3;
 };
 
 struct StallEvent {
@@ -83,6 +111,10 @@ struct SimResult {
   long shiftCount = 0;
   long moveCount = 0;
 
+  /// Outcome of the output comparison (options.verify): true iff every
+  /// output lane matched the reference evaluator. Under injectFaults or a
+  /// fault map, mismatches are recorded in corruptedOutputLanes and
+  /// verified reports whether any lane was actually corrupted.
   bool verified = false;
 
   /// Populated when SimOptions::traceStalls is set.
@@ -93,6 +125,13 @@ struct SimResult {
   /// differ from the fault-free reference.
   long injectedFaults = 0;
   uint64_t corruptedOutputLanes = 0;
+
+  /// Fault-tolerant execution counters (faultMap / guardedExecution).
+  long guardedOps = 0;      ///< column-ops that ran with a check read
+  long retriedOps = 0;      ///< retry rounds after a value/check mismatch
+  long degradedOps = 0;     ///< ops split to single-row reads (MRA 1)
+  long stuckCellReads = 0;  ///< sensed bits forced by stuck-at cells
+  long wornRows = 0;        ///< rows that exceeded the write budget
 
   double latencyUs() const { return latencyNs * 1e-3; }
   double energyUj() const { return energyPj * 1e-6; }

@@ -28,6 +28,7 @@ const char* ruleName(Rule rule) {
     case Rule::BufferLiveness: return "buffer-liveness";
     case Rule::HostWriteMetadata: return "host-write-metadata";
     case Rule::OutputPlacement: return "output-placement";
+    case Rule::FaultAvoidance: return "fault-avoidance";
     case Rule::ValueEquivalence: return "value-equivalence";
   }
   return "unknown";
@@ -262,12 +263,35 @@ class Verifier {
 
   // --------------------------------------------- dataflow interpretation
   void interpret(size_t idx, const Instruction& inst) {
+    checkFaultAvoidance(idx, inst);
     ArraySym& arr = arrayAt(inst.arrayId);
     switch (inst.kind) {
       case InstKind::Read: interpretRead(idx, inst, arr); break;
       case InstKind::Write: interpretWrite(idx, inst, arr); break;
       case InstKind::Shift: interpretShift(idx, inst, arr); break;
       case InstKind::Move: interpretMove(idx, inst, arr); break;
+    }
+  }
+
+  /// FaultAvoidance: no sensed or programmed cell may be stuck-at. Weak
+  /// cells are legal at run time (guarded execution absorbs them); stuck
+  /// cells are not — their value is physically fixed.
+  void checkFaultAvoidance(size_t idx, const Instruction& inst) {
+    const device::FaultMap* fm = options_.faultMap;
+    if (!fm) return;
+    if (inst.kind != InstKind::Read && inst.kind != InstKind::Write) return;
+    for (int c : inst.columns) {
+      for (int r : inst.rows) {
+        if (!fm->isStuck(inst.arrayId, r, c)) continue;
+        report(Rule::FaultAvoidance, idx, inst.arrayId, r, c,
+               strCat(inst.kind == InstKind::Read ? "read senses"
+                                                  : "write targets",
+                      " stuck-at-",
+                      fm->stuckBit(inst.arrayId, r, c) ? "HRS" : "LRS",
+                      " cell (array ", inst.arrayId, ", row ", r, ", col ",
+                      c, ")"));
+        if (full()) return;
+      }
     }
   }
 
@@ -601,6 +625,11 @@ std::optional<Violation> checkInstructionRules(const Instruction& inst,
 VerifyResult verifyProgram(const ir::Graph& g, const isa::TargetSpec& target,
                            const mapping::Program& program,
                            const VerifyOptions& options) {
+  if (options.faultMap)
+    checkArg(options.faultMap->numArrays() == target.numArrays &&
+                 options.faultMap->rows() == target.rows() &&
+                 options.faultMap->cols() == target.cols(),
+             "fault map dimensions do not match the verification target");
   return Verifier(g, target, program, options).run();
 }
 

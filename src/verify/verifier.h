@@ -34,6 +34,9 @@
 //                        per written column.
 //  * OutputPlacement   — every graph output has a recorded, in-bounds,
 //                        written cell.
+//  * FaultAvoidance    — with a fault map, no read senses and no write
+//                        targets a stuck-at cell (fault-aware placement
+//                        must have routed around every persistent defect).
 //  * ValueEquivalence  — symbolic execution assigns every cell/buffer bit
 //                        a hash-consed value number; each output cell's
 //                        number must equal the number of its DAG node.
@@ -48,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "device/faultmap.h"
 #include "ir/graph.h"
 #include "isa/target.h"
 #include "mapping/program.h"
@@ -65,6 +69,7 @@ enum class Rule {
   BufferLiveness,
   HostWriteMetadata,
   OutputPlacement,
+  FaultAvoidance,
   ValueEquivalence,
 };
 
@@ -96,6 +101,9 @@ struct VerifyOptions {
   bool checkEquivalence = true;
   /// Stop collecting after this many violations.
   size_t maxViolations = 16;
+  /// With a fault map, enforce FaultAvoidance: the program must not sense
+  /// or program any stuck-at cell. Dimensions must match the target.
+  const device::FaultMap* faultMap = nullptr;
 };
 
 struct VerifyResult {

@@ -5,6 +5,8 @@
 // application failure probability composes multiplicatively.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "device/reliability.h"
 #include "device/technology.h"
 #include "support/diagnostics.h"
@@ -149,6 +151,68 @@ TEST(Reliability, AccumulatorRejectsBadInput) {
   EXPECT_THROW(acc.add(-0.1), Error);
   EXPECT_THROW(acc.add(1.5), Error);
   EXPECT_THROW(acc.addMany(0.1, -1), Error);
+}
+
+// P_DF = 0 ops are counted but never move P_app — the log-survival term
+// is exactly zero, not a rounding-level perturbation.
+TEST(Reliability, AccumulatorZeroPdfIsExactNoOp) {
+  AppFailureAccumulator acc;
+  acc.addMany(0.0, 1000000);
+  EXPECT_DOUBLE_EQ(acc.probability(), 0.0);
+  EXPECT_EQ(acc.operationCount(), 1000000);
+  acc.add(0.25);
+  acc.addMany(0.0, 5);
+  EXPECT_NEAR(acc.probability(), 0.25, 1e-15);
+}
+
+// The boundary values the simulator can feed in: the P_DF model clamps
+// to 0.5 (a fully ambiguous sense), and injection paths may saturate an
+// op at certainty. Both must compose without NaN/Inf leakage.
+TEST(Reliability, AccumulatorBoundaryPdfs) {
+  AppFailureAccumulator half;
+  half.add(0.5);
+  EXPECT_NEAR(half.probability(), 0.5, 1e-15);
+  half.addMany(0.5, 999);
+  // 1 - 2^-1000 is exactly 1.0 in double precision.
+  EXPECT_DOUBLE_EQ(half.probability(), 1.0);
+
+  AppFailureAccumulator certain;
+  certain.add(1.0);
+  EXPECT_DOUBLE_EQ(certain.probability(), 1.0);
+  certain.add(0.0);  // survival already zero; must stay pinned at 1
+  EXPECT_DOUBLE_EQ(certain.probability(), 1.0);
+}
+
+// addMany(p, n) equals n repetitions of add(p) up to summation rounding,
+// including for counts far beyond what a loop test would normally cover.
+TEST(Reliability, AccumulatorAddManyMatchesRepeatedAdd) {
+  AppFailureAccumulator bulk;
+  bulk.addMany(1e-3, 50);
+  AppFailureAccumulator loop;
+  for (int i = 0; i < 50; ++i) loop.add(1e-3);
+  EXPECT_NEAR(bulk.probability(), loop.probability(), 1e-12);
+  EXPECT_EQ(bulk.operationCount(), loop.operationCount());
+
+  AppFailureAccumulator huge;
+  huge.addMany(1e-9, 2000000000L);
+  // 1 - (1 - 1e-9)^2e9 = 1 - e^-2 up to O(p) corrections.
+  EXPECT_NEAR(huge.probability(), 1.0 - std::exp(-2.0), 1e-9);
+}
+
+// The reason for log-space accumulation: at P_DF ~ 1e-18 the naive
+// product rounds every factor (1 - p) to exactly 1.0 and reports a zero
+// failure probability, while the log1p path keeps the true ~1e-12.
+TEST(Reliability, AccumulatorLogSpaceBeatsNaiveProduct) {
+  const double pdf = 1e-18;
+  const long ops = 1000000;
+  double naive = 1.0;
+  for (int i = 0; i < 1000; ++i) naive *= (1.0 - pdf);  // representative
+  EXPECT_DOUBLE_EQ(naive, 1.0);  // the naive product has already lost p
+
+  AppFailureAccumulator acc;
+  acc.addMany(pdf, ops);
+  EXPECT_NEAR(acc.probability(), 1e-12, 1e-18);
+  EXPECT_GT(acc.probability(), 0.0);
 }
 
 }  // namespace

@@ -88,6 +88,66 @@ void runSeed(uint64_t seed) {
   }
 }
 
+// Fault-injection differential level: the same fuzzed DAGs compiled
+// fault-aware against a dense persistent fault map (stuck + weak cells,
+// spare-row repair) must still verify statically — including the
+// FaultAvoidance rule — and reproduce the reference outputs under
+// guarded Monte-Carlo execution on every config. Seed count comes from
+// SHERLOCK_FAULT_FUZZ_SEEDS (total across 4 shards, default 60) with
+// SHERLOCK_FAULT_FUZZ_FIRST_SEED as the range start, mirroring the
+// fault-free harness's reproduction contract.
+void runFaultSeed(uint64_t seed) {
+  workloads::RandomDagSpec spec = sampleDagSpec(seed);
+  ir::Graph g = transforms::canonicalize(workloads::buildRandomDag(spec));
+
+  std::map<std::string, uint64_t> words;
+  for (ir::NodeId id : g.inputNodes()) {
+    const std::string& name = g.node(id).name;
+    words[name] = sim::defaultInputWord(name, seed);
+  }
+
+  for (const FuzzConfig& config : fuzzConfigs()) {
+    SCOPED_TRACE(config.name());
+    isa::TargetSpec target = fuzzTarget(config, spec.maxArity);
+
+    device::FaultMapOptions fo;
+    fo.seed = seed * 0x9e3779b9ULL + config.dim;
+    fo.stuckDensity = 0.02;
+    fo.weakDensity = 0.01;
+    device::FaultMap map = device::FaultMap::generate(
+        target.numArrays, target.rows(), target.cols(), fo);
+
+    mapping::CompileOptions copts;
+    copts.strategy = config.strategy;
+    copts.verify = false;  // verified explicitly with the map below
+    copts.faults.map = &map;
+    copts.faults.spareRows = 4;
+    mapping::CompileResult compiled = mapping::compile(g, target, copts);
+
+    verify::VerifyOptions vopts;
+    vopts.faultMap = &map;
+    verify::VerifyResult vr =
+        verify::verifyProgram(g, target, compiled.program, vopts);
+    ASSERT_TRUE(vr.ok()) << vr.summary();
+
+    sim::SimOptions sopts;
+    sopts.inputs = words;
+    sopts.staticVerify = false;  // already verified above
+    sopts.faultMap = &map;
+    sopts.injectFaults = true;
+    sopts.guardedExecution = true;
+    sopts.faultSeed = seed;
+    sim::SimResult res = sim::simulate(g, target, compiled.program, sopts);
+    ASSERT_EQ(res.corruptedOutputLanes, 0u)
+        << "guarded execution corrupted lanes (injected "
+        << res.injectedFaults << " faults, " << res.retriedOps
+        << " retries, " << res.degradedOps << " degraded ops)";
+    ASSERT_TRUE(res.verified);
+    ASSERT_EQ(res.stuckCellReads, 0)
+        << "fault-aware placement let a stuck cell be sensed";
+  }
+}
+
 class DifferentialShard : public ::testing::TestWithParam<int> {};
 
 TEST_P(DifferentialShard, RandomDagsAgreeAcrossBackends) {
@@ -106,6 +166,27 @@ TEST_P(DifferentialShard, RandomDagsAgreeAcrossBackends) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, DifferentialShard, ::testing::Range(0, 4));
+
+class FaultShard : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultShard, GuardedExecutionSurvivesFaultyArrays) {
+  const long perShard = (envLong("SHERLOCK_FAULT_FUZZ_SEEDS", 60) + 3) / 4;
+  const long first = envLong("SHERLOCK_FAULT_FUZZ_FIRST_SEED", 1) +
+                     GetParam() * perShard;
+  const long last = first + perShard - 1;
+  std::cout << "[fault-fuzz] shard " << GetParam() << ": seeds " << first
+            << ".." << last
+            << " (reproduce one: SHERLOCK_FAULT_FUZZ_SEEDS=1 "
+               "SHERLOCK_FAULT_FUZZ_FIRST_SEED=<seed> ./differential_test "
+               "--gtest_filter='*FaultShard*')\n";
+  for (long seed = first; seed <= last; ++seed) {
+    SCOPED_TRACE(strCat("seed ", seed));
+    runFaultSeed(static_cast<uint64_t>(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultFuzz, FaultShard, ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace sherlock::testing

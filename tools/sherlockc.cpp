@@ -18,10 +18,12 @@
 // SHERLOCK_THREADS / hardware default).
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "device/faultmap.h"
 #include "frontend/lowering.h"
 #include "ir/analysis.h"
 #include "ir/dot.h"
@@ -41,7 +43,7 @@ namespace {
 
 struct Options {
   std::vector<std::string> inputFiles;
-  std::string emit = "asm";  // asm | dot | dag | stats | sim
+  std::string emit = "asm";  // asm | dot | dag | stats | sim | faultmap
   int targetDim = 512;
   std::string tech = "reram";
   std::string strategy = "opt";
@@ -51,13 +53,21 @@ struct Options {
   bool aggressive = false;  // -O: inverter folding pipeline
   bool verify = false;      // --verify: static program verification
   int jobs = 0;             // 0: SHERLOCK_THREADS / hardware default
+  // Fault tolerance: a positive density generates a persistent fault map
+  // (stuck cells at the given density plus weak cells at half of it),
+  // placement avoids it, and --emit sim honors it.
+  double faultDensity = 0.0;
+  int faultSeed = 1;
+  int spareRows = 0;   // per-column spare rows reserved for repair
+  bool guarded = false;  // --emit sim: guarded Monte-Carlo execution
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " [options] <kernel.sk> [more.sk ...]\n"
-         "  --emit asm|dot|dag|stats|sim  output kind (default asm)\n"
+         "  --emit asm|dot|dag|stats|sim|faultmap\n"
+         "                             output kind (default asm)\n"
          "  --target <N>               square array dimension (default 512)\n"
          "  --tech reram|stt|pcm       NVM technology (default reram)\n"
          "  --strategy opt|naive       mapping algorithm (default opt)\n"
@@ -71,6 +81,15 @@ struct Options {
          "  --jobs <N>                 compile input files with N parallel\n"
          "                             workers (default: SHERLOCK_THREADS\n"
          "                             or hardware concurrency)\n"
+         "  --fault-density <f>        persistent cell-fault density: f\n"
+         "                             stuck + f/2 weak cells; placement\n"
+         "                             avoids them (default 0 = perfect)\n"
+         "  --fault-seed <N>           fault map generation seed\n"
+         "  --spare-rows <N>           spare rows per column reserved as\n"
+         "                             repair targets (default 0)\n"
+         "  --guarded                  with --emit sim: Monte-Carlo fault\n"
+         "                             injection with guarded\n"
+         "                             detect-and-retry execution\n"
          "  -O                         aggressive DAG optimization\n"
          "                             (inverter folding / De Morgan)\n";
   std::exit(2);
@@ -115,6 +134,10 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--mra") o.mra = nextInt();
     else if (arg == "--fraction") o.fraction = nextDouble();
     else if (arg == "--jobs") o.jobs = nextInt();
+    else if (arg == "--fault-density") o.faultDensity = nextDouble();
+    else if (arg == "--fault-seed") o.faultSeed = nextInt();
+    else if (arg == "--spare-rows") o.spareRows = nextInt();
+    else if (arg == "--guarded") o.guarded = true;
     else if (arg == "--nand") o.nandLower = true;
     else if (arg == "--verify") o.verify = true;
     else if (arg == "-O") o.aggressive = true;
@@ -169,17 +192,51 @@ std::string processFile(const std::string& inputFile, const Options& opts) {
 
   isa::TargetSpec target = isa::TargetSpec::square(
       opts.targetDim, techFor(opts.tech), opts.mra);
+
+  std::optional<device::FaultMap> faultMap;
+  if (opts.faultDensity > 0.0) {
+    device::FaultMapOptions fo;
+    fo.seed = static_cast<uint64_t>(opts.faultSeed);
+    fo.stuckDensity = opts.faultDensity;
+    fo.weakDensity = opts.faultDensity * 0.5;
+    faultMap = device::FaultMap::generate(target.numArrays, target.rows(),
+                                          target.cols(), fo);
+  }
+  if (opts.emit == "faultmap") {
+    out << (faultMap ? *faultMap
+                     : device::FaultMap(target.numArrays, target.rows(),
+                                        target.cols()))
+               .toText();
+    return out.str();
+  }
+
   mapping::CompileOptions copts;
   copts.strategy = opts.strategy == "naive" ? mapping::Strategy::Naive
                                             : mapping::Strategy::Optimized;
+  copts.faults.map = faultMap ? &*faultMap : nullptr;
+  copts.faults.spareRows = opts.spareRows;
   // With --verify we run the verifier ourselves (full report below)
   // instead of the facade's first-violation throw.
   if (opts.verify) copts.verify = false;
-  auto compiled = mapping::compile(g, target, copts);
+  mapping::CompileResult compiled;
+  try {
+    compiled = mapping::compile(g, target, copts);
+  } catch (const MappingError& e) {
+    if (!copts.faults.active()) throw;
+    throw Error(strCat(
+        "fault-aware placement failed: ", e.what(), "\n  fault map: seed ",
+        opts.faultSeed, ", ", faultMap ? faultMap->stuckCellCount() : 0,
+        " stuck + ", faultMap ? faultMap->weakCellCount() : 0,
+        " weak cells (density ", opts.faultDensity, "), ", opts.spareRows,
+        " spare rows per column\n  hint: raise --spare-rows, lower "
+        "--fault-density, or enlarge --target"));
+  }
 
   if (opts.verify) {
+    verify::VerifyOptions vopts;
+    vopts.faultMap = copts.faults.map;
     verify::VerifyResult vr =
-        verify::verifyProgram(g, target, compiled.program);
+        verify::verifyProgram(g, target, compiled.program, vopts);
     if (!vr.ok())
       throw Error(strCat("verification failed (", vr.violations.size(),
                          " violation", vr.violations.size() == 1 ? "" : "s",
@@ -211,6 +268,12 @@ std::string processFile(const std::string& inputFile, const Options& opts) {
         << ", chained operands: " << s.chainedOperands << "\n"
         << "columns used:   " << compiled.program.usedColumns
         << ", peak live cells: " << compiled.program.peakLiveCells << "\n";
+    if (copts.faults.active())
+      out << "fault repair:   " << s.spareRowAllocations
+          << " spare-row allocations ("
+          << (faultMap ? faultMap->stuckCellCount() : 0) << " stuck + "
+          << (faultMap ? faultMap->weakCellCount() : 0)
+          << " weak cells avoided)\n";
     if (copts.strategy == mapping::Strategy::Optimized)
       out << "clusters:       " << compiled.clustering.clusters.size()
           << " (cross edges " << compiled.clustering.crossClusterEdges
@@ -219,13 +282,27 @@ std::string processFile(const std::string& inputFile, const Options& opts) {
     return out.str();
   }
   if (opts.emit == "sim") {
-    auto result = sim::simulate(g, target, compiled.program);
+    sim::SimOptions sopts;
+    sopts.faultMap = faultMap ? &*faultMap : nullptr;
+    if (opts.guarded) {
+      sopts.guardedExecution = true;
+      sopts.injectFaults = true;
+      sopts.faultSeed = static_cast<uint64_t>(opts.faultSeed);
+    }
+    auto result = sim::simulate(g, target, compiled.program, sopts);
     out << "latency:  " << result.latencyNs / 1000.0 << " us ("
         << result.stallNs / 1000.0 << " us stalled)\n"
         << "energy:   " << result.energyPj / 1e6 << " uJ\n"
         << "P_app:    " << result.pApp << " over " << result.cimColumnOps
         << " CIM column-ops\n"
         << "verified: " << (result.verified ? "yes" : "no") << "\n";
+    if (sopts.faultMap || opts.guarded)
+      out << "faults:   " << result.guardedOps << " guarded ops, "
+          << result.retriedOps << " retries, " << result.degradedOps
+          << " degraded, " << result.stuckCellReads
+          << " stuck-cell reads, "
+          << compiled.program.stats.spareRowAllocations
+          << " spare-row repairs\n";
     return out.str();
   }
   throw Error(strCat("unknown --emit kind '", opts.emit, "'"));
