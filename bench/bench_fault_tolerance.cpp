@@ -24,8 +24,11 @@
 // faultSeed = deriveSeed(kBaseSeed, point * kTrials + t) — pure function
 // of the flattened index, so the table is byte-identical for any
 // SHERLOCK_THREADS value (see bench/sweep.h).
+#include <chrono>
+#include <fstream>
 #include <iostream>
 
+#include "bench/json.h"
 #include "bench/sweep.h"
 #include "support/parallel.h"
 #include "support/table.h"
@@ -33,7 +36,14 @@
 using namespace sherlock;
 using namespace sherlock::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc)
+      jsonPath = argv[++i];
+  }
+  auto wallStart = std::chrono::steady_clock::now();
+
   constexpr int kDim = 512;
   constexpr int kTrials = 3;
   constexpr uint64_t kBaseSeed = 0xfa'017'2024ULL;
@@ -92,6 +102,7 @@ int main() {
   t.setHeader({"workload", "tech", "density", "spares", "mode", "yield",
                "retries", "degraded", "stuck reads", "repairs",
                "latency ovh"});
+  Json rows = Json::array();
   size_t job = gridStart;
   for (const char* w : kWorkloads)
     for (device::Technology tech : kTechs)
@@ -103,7 +114,7 @@ int main() {
             double latency = 0;
             for (int tr = 0; tr < kTrials; ++tr) {
               const RunResult& r = results[job++];
-              if (r.sim.corruptedOutputLanes == 0) ++clean;
+              if (r.sim.corruptedLanes() == 0) ++clean;
               retries += r.sim.retriedOps;
               degraded += r.sim.degradedOps;
               stuckReads += r.sim.stuckCellReads;
@@ -122,6 +133,23 @@ int main() {
                           static_cast<double>(stuckReads) / kTrials, 0),
                       Table::num(static_cast<double>(repairs) / kTrials, 1),
                       strCat(Table::num(overhead * 100.0, 1), "%")});
+            rows.push(
+                Json::object()
+                    .set("workload", w)
+                    .set("tech", device::technologyName(tech))
+                    .set("stuck_density", density)
+                    .set("spare_rows", spares)
+                    .set("guarded", guarded)
+                    .set("yield", static_cast<double>(clean) / kTrials)
+                    .set("retries_per_trial",
+                         static_cast<double>(retries) / kTrials)
+                    .set("degraded_per_trial",
+                         static_cast<double>(degraded) / kTrials)
+                    .set("stuck_reads_per_trial",
+                         static_cast<double>(stuckReads) / kTrials)
+                    .set("repairs_per_trial",
+                         static_cast<double>(repairs) / kTrials)
+                    .set("latency_overhead", overhead));
           }
   t.print(std::cout);
 
@@ -170,7 +198,7 @@ int main() {
       double latency = 0;
       for (int tr = 0; tr < kTrials; ++tr) {
         const RunResult& r = presults[pjob++];
-        if (r.sim.corruptedOutputLanes == 0) ++clean;
+        if (r.sim.corruptedLanes() == 0) ++clean;
         repairs += r.stats.spareRowAllocations;
         latency += r.sim.latencyNs;
       }
@@ -189,5 +217,21 @@ int main() {
                "weak-cell ops; repairs appear once faults or density "
                "pressure exhaust a column's main region; latency overhead "
                "stays small because only high-P_DF ops are guarded.\n";
+
+  if (!jsonPath.empty()) {
+    double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
+    Json doc = Json::object()
+                   .set("bench", "bench_fault_tolerance")
+                   .set("array_dim", kDim)
+                   .set("trials_per_point", kTrials)
+                   .set("wall_seconds", wallSeconds)
+                   .set("points", std::move(rows));
+    std::ofstream out(jsonPath);
+    out << doc.dump();
+    std::cout << "\nWrote JSON to " << jsonPath << "\n";
+  }
   return 0;
 }

@@ -76,6 +76,11 @@ struct RunConfig {
   /// unprotected baseline the yield table contrasts against).
   bool injectFaults = false;
   bool guarded = false;
+
+  /// Packed lane words per cell (64 * laneWords bulk lanes per run);
+  /// Monte-Carlo harnesses trade trial count against this at equal
+  /// sample count.
+  int laneWords = 1;
 };
 
 struct RunResult {
@@ -136,6 +141,7 @@ inline RunResult runPipeline(const ir::Graph& canonical,
   copts.faults.spareRows = cfg.spareRows;
   auto compiled = mapping::compile(*final, target, copts);
   sim::SimOptions sopts;
+  sopts.laneWords = cfg.laneWords;
   sopts.faultMap = copts.faults.map;
   sopts.guardedExecution = cfg.guarded;
   sopts.injectFaults = cfg.injectFaults || cfg.guarded;

@@ -114,6 +114,24 @@ void FaultMap::setFault(int arrayId, int row, int col, CellFault fault) {
   faults_[cellIndex(arrayId, row, col)] = static_cast<uint8_t>(fault);
 }
 
+void FaultMap::packRowMasks(int arrayId, int row, uint64_t* stuck,
+                            uint64_t* stuckHrs, uint64_t* weak) const {
+  const size_t colWords = (static_cast<size_t>(cols_) + 63) / 64;
+  for (size_t w = 0; w < colWords; ++w) stuck[w] = stuckHrs[w] = weak[w] = 0;
+  const uint8_t* rowFaults = &faults_[cellIndex(arrayId, row, 0)];
+  for (int c = 0; c < cols_; ++c) {
+    auto f = static_cast<CellFault>(rowFaults[c]);
+    if (f == CellFault::None) continue;
+    uint64_t bit = uint64_t{1} << (c & 63);
+    if (f == CellFault::Weak) {
+      weak[c >> 6] |= bit;
+    } else {
+      stuck[c >> 6] |= bit;
+      if (f == CellFault::StuckAtHrs) stuckHrs[c >> 6] |= bit;
+    }
+  }
+}
+
 long FaultMap::noteRowWrite(int arrayId, int row) {
   long& count = rowWrites_[rowIndex(arrayId, row)];
   ++count;

@@ -81,6 +81,15 @@ class FaultMap {
   /// Hand-places a fault (tests, wear modeling, field calibration data).
   void setFault(int arrayId, int row, int col, CellFault fault);
 
+  /// Fills packed column masks for one row, `ceil(cols / 64)` words each:
+  /// bit c of `stuck` / `weak` is set when cell (arrayId, row, c) carries
+  /// that fault; bit c of `stuckHrs` is set when the cell is stuck-at-HRS
+  /// (reads as logic '1'). The simulator precomputes these per touched
+  /// row so its read loop tests a bit instead of re-deriving a cell index
+  /// and switching on the fault byte for every (row, column, lane-word).
+  void packRowMasks(int arrayId, int row, uint64_t* stuck,
+                    uint64_t* stuckHrs, uint64_t* weak) const;
+
   // --- Endurance -------------------------------------------------------
   /// Records one programming pulse on a row and returns the new count.
   /// With a positive rowWriteBudget, the write that exceeds the budget

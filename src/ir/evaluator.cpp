@@ -84,4 +84,42 @@ std::vector<uint64_t> evaluateAllWords(
   return words;
 }
 
+std::vector<uint64_t> evaluateAllWordsPacked(
+    const Graph& g,
+    const std::map<std::string, std::vector<uint64_t>>& inputs,
+    int laneWords) {
+  checkArg(laneWords >= 1, "laneWords must be >= 1");
+  const size_t W = static_cast<size_t>(laneWords);
+  std::vector<uint64_t> values(g.numNodes() * W, 0);
+  std::vector<const uint64_t*> ptrs;
+  for (NodeId i = g.firstId(); i < g.endId(); ++i) {
+    const Node& n = g.node(i);
+    uint64_t* out = values.data() + static_cast<size_t>(i) * W;
+    switch (n.kind) {
+      case Node::Kind::Input: {
+        auto it = inputs.find(n.name);
+        checkArg(it != inputs.end(),
+                 strCat("missing value for input '", n.name, "'"));
+        checkArg(it->second.size() == W,
+                 strCat("input '", n.name, "' has ", it->second.size(),
+                        " words, expected ", W));
+        for (size_t w = 0; w < W; ++w) out[w] = it->second[w];
+        break;
+      }
+      case Node::Kind::Const:
+        if (n.constValue)
+          for (size_t w = 0; w < W; ++w) out[w] = ~uint64_t{0};
+        break;
+      case Node::Kind::Op: {
+        ptrs.clear();
+        for (NodeId op : n.operands)
+          ptrs.push_back(values.data() + static_cast<size_t>(op) * W);
+        evalOpWide(n.op, ptrs.data(), ptrs.size(), W, out);
+        break;
+      }
+    }
+  }
+  return values;
+}
+
 }  // namespace sherlock::ir

@@ -27,4 +27,15 @@ std::vector<BitVector> evaluateOutputs(const Graph& g,
 std::vector<uint64_t> evaluateAllWords(
     const Graph& g, const std::map<std::string, uint64_t>& inputs);
 
+/// Packed multi-word evaluation: every value is `laneWords` contiguous
+/// 64-bit words (64 * laneWords lockstep lanes). Each input vector must
+/// have exactly laneWords entries. Returns a node-major flat array:
+/// word `w` of node `id` lives at [id * laneWords + w]. This is the
+/// reference the packed simulator (SimOptions::laneWords) verifies
+/// against; it runs on flat arrays so the combine loops autovectorize.
+std::vector<uint64_t> evaluateAllWordsPacked(
+    const Graph& g,
+    const std::map<std::string, std::vector<uint64_t>>& inputs,
+    int laneWords);
+
 }  // namespace sherlock::ir

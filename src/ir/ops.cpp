@@ -69,4 +69,51 @@ uint64_t evalOp(OpKind op, std::span<const uint64_t> operands) {
   }
 }
 
+void evalOpWide(OpKind op, const uint64_t* const* operands, size_t n,
+                size_t words, uint64_t* out) {
+  if (isUnary(op)) {
+    checkArg(n == 1, strCat(opName(op), " takes exactly one operand, got ",
+                            n));
+    const uint64_t* a = operands[0];
+    if (op == OpKind::Not)
+      for (size_t w = 0; w < words; ++w) out[w] = ~a[w];
+    else if (out != a)
+      for (size_t w = 0; w < words; ++w) out[w] = a[w];
+    return;
+  }
+  checkArg(n >= 2, strCat(opName(op), " takes at least two operands, got ",
+                          n));
+  const uint64_t* first = operands[0];
+  if (out != first)
+    for (size_t w = 0; w < words; ++w) out[w] = first[w];
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t* o = operands[i];
+    switch (op) {
+      case OpKind::And:
+      case OpKind::Nand:
+        for (size_t w = 0; w < words; ++w) out[w] &= o[w];
+        break;
+      case OpKind::Or:
+      case OpKind::Nor:
+        for (size_t w = 0; w < words; ++w) out[w] |= o[w];
+        break;
+      case OpKind::Xor:
+      case OpKind::Xnor:
+        for (size_t w = 0; w < words; ++w) out[w] ^= o[w];
+        break;
+      default:
+        throw InternalError("evalOpWide: unreachable");
+    }
+  }
+  switch (op) {
+    case OpKind::Nand:
+    case OpKind::Nor:
+    case OpKind::Xnor:
+      for (size_t w = 0; w < words; ++w) out[w] = ~out[w];
+      break;
+    default:
+      break;
+  }
+}
+
 }  // namespace sherlock::ir

@@ -49,4 +49,12 @@ bool isSubstitutable(OpKind op);
 /// operand.
 uint64_t evalOp(OpKind op, std::span<const uint64_t> operands);
 
+/// Packed-lane evaluation: applies `op` across `n` operand arrays of
+/// `words` contiguous 64-bit words each (64 * words lockstep lanes),
+/// writing the result into out[0 .. words). The inner loops run word-wise
+/// over flat arrays so they autovectorize. `out` may alias operands[0]
+/// but no other operand. Same arity rules as evalOp.
+void evalOpWide(OpKind op, const uint64_t* const* operands, size_t n,
+                size_t words, uint64_t* out);
+
 }  // namespace sherlock::ir

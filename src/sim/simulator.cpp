@@ -25,29 +25,51 @@ constexpr double kBufferOpLatencyNs = 0.5;   // rowless row-buffer logic
 constexpr double kBusLatencyNs = 10.0;       // inter-array transfer
 constexpr double kBusEnergyPerBitPj = 0.5;
 
-/// Functional state of one array: cells + row buffer, one 64-bit word per
-/// bit position (64 bulk slices simulated at once).
+/// Functional state of one array: cells + row buffer, W packed 64-bit
+/// lane words per cell position (64 * W bulk slices simulated at once).
+/// Everything lives in flat contiguous uint64_t arrays — including the
+/// written/valid bookkeeping, which previously sat in std::vector<bool>
+/// bitmaps whose proxy references defeat autovectorization of the copy
+/// and combine loops.
 struct ArrayState {
-  ArrayState(int rows, int cols)
+  ArrayState(int rows, int cols, int laneWords)
       : rows_(rows),
         cols_(cols),
-        cells(static_cast<size_t>(rows) * cols, 0),
-        cellWritten(static_cast<size_t>(rows) * cols, false),
-        buffer(static_cast<size_t>(cols), 0),
-        bufferValid(static_cast<size_t>(cols), false),
+        W_(static_cast<size_t>(laneWords)),
+        cells(static_cast<size_t>(rows) * cols * W_, 0),
+        cellWritten((static_cast<size_t>(rows) * cols + 63) / 64, 0),
+        buffer(static_cast<size_t>(cols) * W_, 0),
+        bufferValid((static_cast<size_t>(cols) + 63) / 64, 0),
         writeReadyNs(static_cast<size_t>(rows) * cols, 0.0),
         writeIndex(static_cast<size_t>(rows) * cols, -1) {}
 
   size_t cellIndex(int row, int col) const {
     return static_cast<size_t>(row) * cols_ + col;
   }
+  uint64_t* cellWords(size_t ci) { return cells.data() + ci * W_; }
+  const uint64_t* cellWords(size_t ci) const {
+    return cells.data() + ci * W_;
+  }
+  uint64_t* bufferWords(int col) {
+    return buffer.data() + static_cast<size_t>(col) * W_;
+  }
+  bool written(size_t ci) const {
+    return (cellWritten[ci >> 6] >> (ci & 63)) & 1;
+  }
+  void markWritten(size_t ci) {
+    cellWritten[ci >> 6] |= uint64_t{1} << (ci & 63);
+  }
+  bool bufferIsValid(int col) const {
+    return (bufferValid[static_cast<size_t>(col) >> 6] >> (col & 63)) & 1;
+  }
 
   int rows_;
   int cols_;
-  std::vector<uint64_t> cells;
-  std::vector<bool> cellWritten;
-  std::vector<uint64_t> buffer;
-  std::vector<bool> bufferValid;
+  size_t W_;
+  std::vector<uint64_t> cells;        ///< rows * cols * W lane words
+  std::vector<uint64_t> cellWritten;  ///< packed bitmap over cell positions
+  std::vector<uint64_t> buffer;       ///< cols * W lane words
+  std::vector<uint64_t> bufferValid;  ///< packed bitmap over columns
   /// Completion time of the last posted write per cell (the memory
   /// controller performs read-around-write: a read stalls only on the
   /// cells it actually senses).
@@ -56,18 +78,71 @@ struct ArrayState {
   std::vector<long> writeIndex;
 };
 
+/// Precomputed packed fault masks of one array: one bit per column,
+/// `colWords` words per row. The read loop tests a bit here instead of
+/// calling back into the fault map (cell-index math plus a fault-byte
+/// switch) for every (row, column) pair it senses.
+struct FaultMasks {
+  FaultMasks(const device::FaultMap& map, int arrayId, int rows, int cols)
+      : colWords_((static_cast<size_t>(cols) + 63) / 64),
+        stuck(static_cast<size_t>(rows) * colWords_, 0),
+        stuckHrs(static_cast<size_t>(rows) * colWords_, 0),
+        weak(static_cast<size_t>(rows) * colWords_, 0) {
+    for (int r = 0; r < rows; ++r) refreshRow(map, arrayId, r);
+  }
+
+  /// Re-derives one row's masks from the map (endurance wear-out converts
+  /// rows to stuck mid-run).
+  void refreshRow(const device::FaultMap& map, int arrayId, int row) {
+    size_t off = static_cast<size_t>(row) * colWords_;
+    map.packRowMasks(arrayId, row, &stuck[off], &stuckHrs[off], &weak[off]);
+  }
+
+  bool isStuck(int row, int col) const { return test(stuck, row, col); }
+  bool stuckReadsOne(int row, int col) const {
+    return test(stuckHrs, row, col);
+  }
+  bool isWeak(int row, int col) const { return test(weak, row, col); }
+
+ private:
+  bool test(const std::vector<uint64_t>& v, int row, int col) const {
+    return (v[static_cast<size_t>(row) * colWords_ + (col >> 6)] >>
+            (col & 63)) &
+           1;
+  }
+
+  size_t colWords_;
+  std::vector<uint64_t> stuck;
+  std::vector<uint64_t> stuckHrs;
+  std::vector<uint64_t> weak;
+};
+
 }  // namespace
 
-uint64_t defaultInputWord(const std::string& name, uint64_t seed) {
+long SimResult::corruptedLanes() const {
+  long n = 0;
+  for (uint64_t w : corruptedLaneWords) n += std::popcount(w);
+  return n;
+}
+
+uint64_t defaultInputWord(const std::string& name, uint64_t seed,
+                          int wordIndex) {
+  checkArg(wordIndex >= 0, "wordIndex must be >= 0");
   uint64_t h = seed ^ 0xcbf29ce484222325ULL;
   for (unsigned char c : name) h = (h ^ c) * 0x100000001b3ULL;
   Rng rng(h);
-  return rng();
+  uint64_t w = rng();
+  for (int i = 0; i < wordIndex; ++i) w = rng();
+  return w;
 }
 
 SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
                    const mapping::Program& program,
                    const SimOptions& options) {
+  checkArg(options.laneWords >= 1 && options.laneWords <= 4096,
+           "laneWords must be in [1, 4096]");
+  const size_t W = static_cast<size_t>(options.laneWords);
+
   if (options.staticVerify) {
     // Structural rules only: the functional run below compares outputs
     // against the reference evaluator on concrete inputs, which subsumes
@@ -93,9 +168,6 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
     wearMap = *options.faultMap;
   device::FaultMap* mutableMap = wearMap ? &*wearMap : nullptr;
   const device::FaultMap* fmap = wearMap ? &*wearMap : options.faultMap;
-  auto stuckWord = [&](int a, int r, int c) -> uint64_t {
-    return fmap->stuckBit(a, r, c) ? ~uint64_t{0} : uint64_t{0};
-  };
   // Each weak cell sensed by an op multiplies its P_DF (clamped to the
   // discrimination bound 0.5, the same ceiling the device model uses).
   auto inflatePdf = [&](double pdf, int weakCells) -> double {
@@ -113,22 +185,55 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
       static_cast<size_t>(target.numArrays));
   auto arrayAt = [&](int a) -> ArrayState& {
     auto& slot = arrays[static_cast<size_t>(a)];
-    if (!slot) slot = std::make_unique<ArrayState>(rows, cols);
+    if (!slot)
+      slot = std::make_unique<ArrayState>(rows, cols,
+                                          static_cast<int>(W));
+    return *slot;
+  };
+  // Packed per-row fault masks, precomputed per touched array so the read
+  // loop tests bits instead of re-querying the map per sensed cell.
+  std::vector<std::unique_ptr<FaultMasks>> faultMasks(
+      static_cast<size_t>(target.numArrays));
+  auto masksAt = [&](int a) -> FaultMasks& {
+    auto& slot = faultMasks[static_cast<size_t>(a)];
+    if (!slot) slot = std::make_unique<FaultMasks>(*fmap, a, rows, cols);
     return *slot;
   };
 
-  // Resolve leaf values: named inputs from options (or deterministic
-  // pseudo-random words), constants to all-zeros / all-ones.
-  auto leafWord = [&](NodeId id) -> uint64_t {
+  // Resolve leaf values once per node: named inputs from options (or
+  // deterministic pseudo-random words), constants to all-zeros/all-ones.
+  std::map<NodeId, std::vector<uint64_t>> leafCache;
+  auto leafWords = [&](NodeId id) -> const uint64_t* {
+    auto cached = leafCache.find(id);
+    if (cached != leafCache.end()) return cached->second.data();
     const ir::Node& n = g.node(id);
-    if (n.isConst()) return n.constValue ? ~uint64_t{0} : 0;
-    checkArg(n.isInput(), strCat("host write of non-leaf node ", id));
-    auto it = options.inputs.find(n.name);
-    if (it != options.inputs.end()) return it->second;
-    return defaultInputWord(n.name, options.inputSeed);
+    std::vector<uint64_t> v(W, 0);
+    if (n.isConst()) {
+      if (n.constValue) v.assign(W, ~uint64_t{0});
+    } else {
+      checkArg(n.isInput(), strCat("host write of non-leaf node ", id));
+      auto wide = options.wideInputs.find(n.name);
+      if (wide != options.wideInputs.end()) {
+        checkArg(wide->second.size() == W,
+                 strCat("wide input '", n.name, "' has ",
+                        wide->second.size(), " words, expected ", W));
+        v = wide->second;
+      } else {
+        // Consecutive draws of one name-keyed stream (defaultInputWord's
+        // contract), with the scalar map overriding lane word 0.
+        uint64_t h = options.inputSeed ^ 0xcbf29ce484222325ULL;
+        for (unsigned char c : n.name) h = (h ^ c) * 0x100000001b3ULL;
+        Rng rng(h);
+        for (size_t w = 0; w < W; ++w) v[w] = rng();
+        auto it = options.inputs.find(n.name);
+        if (it != options.inputs.end()) v[0] = it->second;
+      }
+    }
+    return leafCache.emplace(id, std::move(v)).first->second.data();
   };
 
   SimResult result;
+  result.corruptedLaneWords.assign(W, 0);
   device::AppFailureAccumulator failures;
   std::map<std::pair<device::SenseKind, int>, double> pdfCache;
   auto pdfOf = [&](device::SenseKind kind, int r) {
@@ -145,20 +250,31 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
 
   double now = 0.0;
   Rng faultRng(options.faultSeed);
-  // Per-lane fault sampling: each of the 64 simulated bulk lanes flips
-  // independently with the op's decision-failure probability.
-  auto sampleFaultMask = [&](double p) -> uint64_t {
-    if (p <= 0.0) return 0;
-    uint64_t mask = 0;
-    for (int lane = 0; lane < 64; ++lane)
-      if (faultRng.uniform() < p) mask |= uint64_t{1} << lane;
-    return mask;
+  // Monte-Carlo fault injection: toggles each of the 64 * W lanes
+  // independently with probability p, via batched geometric gap sampling
+  // (one draw per flip instead of one per lane — see sampleBernoulliBits).
+  auto inject = [&](uint64_t* words, double p) {
+    if (!options.injectFaults) return;
+    result.injectedFaults += sampleBernoulliBits(faultRng, p, words, W);
   };
+
+  // Scratch reused across instructions (no allocation in the hot loop).
+  std::vector<uint64_t> newBits;              // columns * W result words
+  std::vector<uint64_t> truth(W), check(W);   // per-column sense scratch
+  std::vector<uint64_t> splitWords;           // degrade: per-row samples
+  std::vector<uint64_t> shiftBuf, shiftValid; // rotate scratch
+  std::vector<int> weakPerCol;
+  std::vector<uint8_t> plainStuck;            // plain read of a stuck cell
+  std::vector<const uint64_t*> opPtrs, splitPtrs;
+  std::vector<uint8_t> opStuck;
+  const std::vector<uint64_t> onesW(W, ~uint64_t{0});
+  const std::vector<uint64_t> zerosW(W, 0);
 
   for (size_t idx = 0; idx < program.instructions.size(); ++idx) {
     const Instruction& inst = program.instructions[idx];
     isa::validateInstruction(inst, target.numArrays, rows, cols);
     ArrayState& arr = arrayAt(inst.arrayId);
+    const FaultMasks* fm = fmap ? &masksAt(inst.arrayId) : nullptr;
 
     now += cost.dispatchLatencyNs();
     result.energyPj += cost.dispatchEnergyPj();
@@ -200,57 +316,86 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
 
         // Functional: compute all columns against the pre-read buffer,
         // then commit.
-        std::vector<uint64_t> newBits(inst.columns.size());
+        const size_t nCols = inst.columns.size();
+        newBits.assign(nCols * W, 0);
         // Weak cells sensed per column (fault map only) inflate P_DF.
-        std::vector<int> weakPerCol(inst.columns.size(), 0);
+        weakPerCol.assign(nCols, 0);
+        plainStuck.assign(inst.colOps.empty() ? nCols : 0, 0);
         // Guarded execution: the controller re-senses the instruction in
         // lockstep until every guarded column's value and check read
         // agree, so latency/energy pay for the deepest column's senses.
         int maxSenses = 1;
         int degradedCols = 0;
-        auto inject = [&](uint64_t word, double p) -> uint64_t {
-          if (!options.injectFaults) return word;
-          uint64_t flips = sampleFaultMask(p);
-          if (flips) {
-            word ^= flips;
-            result.injectedFaults += static_cast<long>(std::popcount(flips));
+        // One detect-and-retry loop shared by the scouting and plain-read
+        // paths (previously duplicated, letting the bookkeeping drift):
+        // `value` holds the first sampled read; value/check pairs are
+        // re-sensed from `truth` until they agree or the retry budget is
+        // exhausted, with the guard/retry counters and the instruction's
+        // lockstep sense depth updated here. Returns false when the
+        // budget ran out with the pair still disagreeing — the caller
+        // picks the fallback (degrade for scouting ops; plain reads are
+        // already at MRA 1, so their last sample stands).
+        auto guardedSample = [&](const uint64_t* truthW, double effPdf,
+                                 uint64_t* value) -> bool {
+          result.guardedOps++;
+          std::copy_n(truthW, W, check.data());
+          inject(check.data(), effPdf);
+          int senses = 2;
+          int tries = 0;
+          bool agree = std::equal(value, value + W, check.data());
+          while (!agree && tries < options.retryBudget) {
+            ++tries;
+            result.retriedOps++;
+            std::copy_n(truthW, W, value);
+            inject(value, effPdf);
+            std::copy_n(truthW, W, check.data());
+            inject(check.data(), effPdf);
+            senses += 2;
+            agree = std::equal(value, value + W, check.data());
           }
-          return word;
+          maxSenses = std::max(maxSenses, senses);
+          return agree;
         };
-        for (size_t i = 0; i < inst.columns.size(); ++i) {
+        for (size_t i = 0; i < nCols; ++i) {
           int c = inst.columns[i];
-          std::vector<uint64_t> operands;
-          operands.reserve(inst.rows.size() + 1);
+          opPtrs.clear();
+          opStuck.clear();
           for (int r : inst.rows) {
-            size_t ci = arr.cellIndex(r, c);
-            if (fmap && fmap->isStuck(inst.arrayId, r, c)) {
+            if (fm && fm->isStuck(r, c)) {
               // Persistent fault: the sensed bit is physically pinned
               // regardless of what (if anything) was programmed.
-              operands.push_back(stuckWord(inst.arrayId, r, c));
+              opPtrs.push_back(fm->stuckReadsOne(r, c) ? onesW.data()
+                                                       : zerosW.data());
+              opStuck.push_back(1);
               result.stuckCellReads++;
               continue;
             }
-            if (!arr.cellWritten[ci])
+            size_t ci = arr.cellIndex(r, c);
+            if (!arr.written(ci))
               throw SimulationError(
                   strCat("instruction ", idx, ": read of unwritten cell (",
                          inst.arrayId, ",", r, ",", c, ")"));
-            operands.push_back(arr.cells[ci]);
-            if (fmap && fmap->isWeak(inst.arrayId, r, c)) ++weakPerCol[i];
+            opPtrs.push_back(arr.cellWords(ci));
+            opStuck.push_back(0);
+            if (fm && fm->isWeak(r, c)) ++weakPerCol[i];
           }
+          uint64_t* out = newBits.data() + i * W;
           if (inst.colOps.empty()) {
             // Plain read: load the single cell into the buffer.
-            checkArg(operands.size() == 1, "plain read takes one row");
-            newBits[i] = operands[0];
+            checkArg(opPtrs.size() == 1, "plain read takes one row");
+            std::copy_n(opPtrs[0], W, out);
+            plainStuck[i] = opStuck[0];
           } else {
             if (inst.chainsBuffer[i]) {
-              if (!arr.bufferValid[static_cast<size_t>(c)])
+              if (!arr.bufferIsValid(c))
                 throw SimulationError(
                     strCat("instruction ", idx,
                            ": chained read of invalid buffer column ", c,
                            " of array ", inst.arrayId));
-              operands.push_back(arr.buffer[static_cast<size_t>(c)]);
+              opPtrs.push_back(arr.bufferWords(c));
             }
-            uint64_t trueWord = ir::evalOp(inst.colOps[i], operands);
+            ir::evalOpWide(inst.colOps[i], opPtrs.data(), opPtrs.size(), W,
+                           truth.data());
             // Reliability accounting: r activated rows per column op.
             int activated = static_cast<int>(inst.rows.size());
             double pdf = 0.0;
@@ -267,84 +412,74 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
             // Degrade: replace the scouting sense by single-row plain
             // reads (MRA 1, the widest sense margin) combined digitally
             // in the row-buffer logic — slower but near-failure-free.
-            auto degradeSense = [&]() -> uint64_t {
+            // Operands sensed from stuck cells are exempt from injection:
+            // their read-out is physically pinned, so no sense margin —
+            // however degraded — can flip it.
+            auto degradeSense = [&](uint64_t* dst) {
               result.degradedOps++;
               ++degradedCols;
               double pPlain = pdfOf(device::SenseKind::PlainRead, 1);
-              std::vector<uint64_t> split;
-              split.reserve(operands.size());
-              for (size_t oi = 0; oi < inst.rows.size(); ++oi) {
-                int r = inst.rows[oi];
-                double pr = (fmap && fmap->isWeak(inst.arrayId, r, c))
-                                ? inflatePdf(pPlain, 1)
-                                : pPlain;
-                split.push_back(inject(operands[oi], pr));
+              size_t nOps = inst.rows.size();
+              splitWords.resize(nOps * W);
+              splitPtrs.clear();
+              for (size_t oi = 0; oi < nOps; ++oi) {
+                uint64_t* s = splitWords.data() + oi * W;
+                std::copy_n(opPtrs[oi], W, s);
+                if (!opStuck[oi]) {
+                  int r = inst.rows[oi];
+                  double pr = (fm && fm->isWeak(r, c))
+                                  ? inflatePdf(pPlain, 1)
+                                  : pPlain;
+                  inject(s, pr);
+                }
+                splitPtrs.push_back(s);
               }
               if (inst.chainsBuffer[i])
-                split.push_back(operands.back());  // digital, fault-free
-              return ir::evalOp(inst.colOps[i], split);
+                splitPtrs.push_back(opPtrs.back());  // digital, fault-free
+              ir::evalOpWide(inst.colOps[i], splitPtrs.data(),
+                             splitPtrs.size(), W, dst);
             };
-            uint64_t value;
             if (options.guardedExecution &&
                 effPdf > options.degradePdfThreshold) {
               // Too risky to sense at full MRA at all: a check-read pair
               // misses failures where both samples flip the same lane
               // (~P_DF^2 per lane), which stops being negligible here.
               result.guardedOps++;
-              value = degradeSense();
+              degradeSense(out);
             } else {
-              value = inject(trueWord, effPdf);
+              std::copy_n(truth.data(), W, out);
+              inject(out, effPdf);
               if (options.guardedExecution &&
                   effPdf > options.guardPdfThreshold) {
                 // Guard: duplicate the scouting op as a check read; retry
                 // while the two samples disagree, up to the budget.
-                result.guardedOps++;
-                uint64_t check = inject(trueWord, effPdf);
-                int senses = 2;
-                int tries = 0;
-                while (value != check && tries < options.retryBudget) {
-                  ++tries;
-                  result.retriedOps++;
-                  value = inject(trueWord, effPdf);
-                  check = inject(trueWord, effPdf);
-                  senses += 2;
-                }
-                maxSenses = std::max(maxSenses, senses);
                 // Budget exhausted on persistent disagreement: fall back
                 // to the degraded sense as well.
-                if (value != check) value = degradeSense();
+                if (!guardedSample(truth.data(), effPdf, out))
+                  degradeSense(out);
               }
             }
-            newBits[i] = value;
           }
         }
         if (inst.colOps.empty()) {
           double pdf = pdfOf(device::SenseKind::PlainRead, 1);
-          for (size_t i = 0; i < inst.columns.size(); ++i) {
+          for (size_t i = 0; i < nCols; ++i) {
             double effPdf = inflatePdf(pdf, weakPerCol[i]);
             failures.add(effPdf);
-            uint64_t truth = newBits[i];
-            uint64_t value = inject(truth, effPdf);
+            // A stuck cell senses its pinned state regardless of margin:
+            // nothing to inject and nothing to guard.
+            if (plainStuck[i]) continue;
+            uint64_t* value = newBits.data() + i * W;
+            std::copy_n(value, W, truth.data());
+            inject(value, effPdf);
             if (options.guardedExecution &&
                 effPdf > options.guardPdfThreshold) {
               // Plain reads above the threshold get the same check-read
               // guard as scouting ops. There is no lower sensing mode to
               // degrade to (MRA is already 1), so after an exhausted
               // budget the last sample stands (residual ~P_DF^2).
-              result.guardedOps++;
-              uint64_t check = inject(truth, effPdf);
-              int senses = 2;
-              int tries = 0;
-              while (value != check && tries < options.retryBudget) {
-                ++tries;
-                result.retriedOps++;
-                value = inject(truth, effPdf);
-                check = inject(truth, effPdf);
-                senses += 2;
-              }
-              maxSenses = std::max(maxSenses, senses);
+              guardedSample(truth.data(), effPdf, value);
             }
-            newBits[i] = value;
           }
         }
         // Guarded-execution timing: extra lockstep senses re-activate the
@@ -365,9 +500,11 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
           result.energyPj += static_cast<double>(inst.rows.size()) *
                              cost.readEnergyPj(1, degradedCols);
         }
-        for (size_t i = 0; i < inst.columns.size(); ++i) {
-          arr.buffer[static_cast<size_t>(inst.columns[i])] = newBits[i];
-          arr.bufferValid[static_cast<size_t>(inst.columns[i])] = true;
+        for (size_t i = 0; i < nCols; ++i) {
+          int c = inst.columns[i];
+          std::copy_n(newBits.data() + i * W, W, arr.bufferWords(c));
+          arr.bufferValid[static_cast<size_t>(c) >> 6] |=
+              uint64_t{1} << (c & 63);
         }
         break;
       }
@@ -378,32 +515,40 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
         if (mutableMap) {
           // Endurance: one programming pulse on the row; crossing the
           // budget converts its cells to stuck-at-LRS inside noteRowWrite,
-          // so later reads of the row return the pinned state.
+          // so later reads of the row return the pinned state. The
+          // precomputed masks for the row are refreshed at the moment of
+          // conversion.
           long count = mutableMap->noteRowWrite(inst.arrayId, row);
-          if (count == mutableMap->options().rowWriteBudget + 1)
+          if (count == mutableMap->options().rowWriteBudget + 1) {
             result.wornRows++;
+            auto& slot = faultMasks[static_cast<size_t>(inst.arrayId)];
+            if (slot) slot->refreshRow(*fmap, inst.arrayId, row);
+          }
         }
+        const FaultMasks* wfm = fmap ? &masksAt(inst.arrayId) : nullptr;
         auto hostIt = program.hostWriteValues.find(idx);
         for (size_t i = 0; i < inst.columns.size(); ++i) {
           int c = inst.columns[i];
-          uint64_t word;
+          size_t ci = arr.cellIndex(row, c);
+          uint64_t* dst = arr.cellWords(ci);
           if (hostIt != program.hostWriteValues.end()) {
-            word = leafWord(hostIt->second[i]);
+            std::copy_n(leafWords(hostIt->second[i]), W, dst);
           } else {
-            if (!arr.bufferValid[static_cast<size_t>(c)])
+            if (!arr.bufferIsValid(c))
               throw SimulationError(
                   strCat("instruction ", idx,
                          ": write from invalid buffer column ", c,
                          " of array ", inst.arrayId));
-            word = arr.buffer[static_cast<size_t>(c)];
+            std::copy_n(arr.bufferWords(c), W, dst);
           }
-          size_t ci = arr.cellIndex(row, c);
-          if (fmap && fmap->isStuck(inst.arrayId, row, c))
+          if (wfm && wfm->isStuck(row, c)) {
             // Programming a stuck cell has no effect: it keeps its pinned
             // value (reads force it; mark written so they do not throw).
-            word = stuckWord(inst.arrayId, row, c);
-          arr.cells[ci] = word;
-          arr.cellWritten[ci] = true;
+            const uint64_t* pinned =
+                wfm->stuckReadsOne(row, c) ? onesW.data() : zerosW.data();
+            std::copy_n(pinned, W, dst);
+          }
+          arr.markWritten(ci);
         }
         // Posted write: issue cost now, programming completes later.
         for (int col : inst.columns) {
@@ -422,17 +567,19 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
         int d = inst.shiftDistance % cols;
         if (inst.shiftDirection == isa::ShiftDirection::Right)
           d = (cols - d) % cols;
-        // Rotate left by d: bit at column c moves to (c + d) % cols.
-        std::vector<uint64_t> nb(arr.buffer.size());
-        std::vector<bool> nv(arr.bufferValid.size());
+        // Rotate left by d: bits at column c move to (c + d) % cols.
+        shiftBuf.assign(arr.buffer.size(), 0);
+        shiftValid.assign(arr.bufferValid.size(), 0);
         for (int c = 0; c < cols; ++c) {
           int dst = (c + d) % cols;
-          nb[static_cast<size_t>(dst)] = arr.buffer[static_cast<size_t>(c)];
-          nv[static_cast<size_t>(dst)] =
-              arr.bufferValid[static_cast<size_t>(c)];
+          std::copy_n(arr.bufferWords(c), W,
+                      shiftBuf.data() + static_cast<size_t>(dst) * W);
+          if (arr.bufferIsValid(c))
+            shiftValid[static_cast<size_t>(dst) >> 6] |=
+                uint64_t{1} << (dst & 63);
         }
-        arr.buffer = std::move(nb);
-        arr.bufferValid = std::move(nv);
+        arr.buffer.swap(shiftBuf);
+        arr.bufferValid.swap(shiftValid);
         now += cost.shiftLatencyNs(inst.shiftDistance);
         result.energyPj += cost.shiftEnergyPj(inst.shiftDistance);
         break;
@@ -442,13 +589,14 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
         result.moveCount++;
         ArrayState& dst = arrayAt(inst.moveDstArray);
         int srcCol = inst.columns[0];
-        if (!arr.bufferValid[static_cast<size_t>(srcCol)])
+        if (!arr.bufferIsValid(srcCol))
           throw SimulationError(strCat("instruction ", idx,
                                        ": move from invalid buffer column ",
                                        srcCol, " of array ", inst.arrayId));
-        dst.buffer[static_cast<size_t>(inst.moveDstCol)] =
-            arr.buffer[static_cast<size_t>(srcCol)];
-        dst.bufferValid[static_cast<size_t>(inst.moveDstCol)] = true;
+        std::copy_n(arr.bufferWords(srcCol), W,
+                    dst.bufferWords(inst.moveDstCol));
+        dst.bufferValid[static_cast<size_t>(inst.moveDstCol) >> 6] |=
+            uint64_t{1} << (inst.moveDstCol & 63);
         now += kBusLatencyNs;
         result.energyPj +=
             kBusEnergyPerBitPj * target.geometry.dataWidthBits;
@@ -461,12 +609,16 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
   result.pApp = failures.probability();
 
   if (options.verify) {
-    std::map<std::string, uint64_t> inputWords;
+    std::map<std::string, std::vector<uint64_t>> inputWords;
     for (NodeId i = g.firstId(); i < g.endId(); ++i) {
       const ir::Node& n = g.node(i);
-      if (n.isInput()) inputWords[n.name] = leafWord(i);
+      if (n.isInput()) {
+        const uint64_t* v = leafWords(i);
+        inputWords[n.name].assign(v, v + W);
+      }
     }
-    auto reference = ir::evaluateAllWords(g, inputWords);
+    auto reference =
+        ir::evaluateAllWordsPacked(g, inputWords, static_cast<int>(W));
     for (NodeId out : g.outputs()) {
       auto it = program.outputCells.find(out);
       if (it == program.outputCells.end())
@@ -475,37 +627,40 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
       const mapping::CellAddress& cell = it->second;
       const ArrayState& arr2 = arrayAt(cell.arrayId);
       size_t ci = arr2.cellIndex(cell.row, cell.col);
-      uint64_t actual = arr2.cells[ci];
-      bool written = arr2.cellWritten[ci];
+      const uint64_t* actual = arr2.cellWords(ci);
+      bool written = arr2.written(ci);
       if (fmap && fmap->isStuck(cell.arrayId, cell.row, cell.col)) {
         // A stuck output cell holds its pinned value no matter what the
         // program did (including wear-out mid-run).
-        actual = stuckWord(cell.arrayId, cell.row, cell.col);
+        actual = fmap->stuckBit(cell.arrayId, cell.row, cell.col)
+                     ? onesW.data()
+                     : zerosW.data();
         written = true;
       }
       if (!written)
         throw SimulationError(
             strCat("output ", out, " cell (array ", cell.arrayId, ", row ",
                    cell.row, ", col ", cell.col, ") never written"));
-      uint64_t diff = actual ^ reference[static_cast<size_t>(out)];
-      if (diff != 0) {
+      const uint64_t* ref = reference.data() + static_cast<size_t>(out) * W;
+      for (size_t w = 0; w < W; ++w) {
+        uint64_t diff = actual[w] ^ ref[w];
+        if (diff == 0) continue;
         if (options.injectFaults || fmap) {
           // Injected decision failures and persistent faults legitimately
           // corrupt lanes; record them instead of failing verification.
-          result.corruptedOutputLanes |= diff;
+          result.corruptedLaneWords[w] |= diff;
         } else {
           throw SimulationError(strCat(
               "output ", out, " mismatch at cell (array ", cell.arrayId,
-              ", row ", cell.row, ", col ", cell.col, "), written by "
-              "instruction ", arr2.writeIndex[ci], ": array holds ",
-              arr2.cells[ci], " but reference is ",
-              reference[static_cast<size_t>(out)]));
+              ", row ", cell.row, ", col ", cell.col, "), lane word ", w,
+              ", written by instruction ", arr2.writeIndex[ci],
+              ": array holds ", actual[w], " but reference is ", ref[w]));
         }
       }
     }
     // The actual comparison outcome: clean injection/fault runs report
     // verified=true instead of being pessimistically marked false.
-    result.verified = result.corruptedOutputLanes == 0;
+    result.verified = result.corruptedLanes() == 0;
   }
 
   return result;

@@ -3,8 +3,10 @@
 // Runs a compiled Program at two levels simultaneously:
 //
 //  * Functional: bit-accurate execution of every instruction on modeled
-//    cell arrays and row buffers (one 64-bit word per cell simulates 64
-//    bulk slices). Graph outputs are compared against the IR reference
+//    cell arrays and row buffers. Each cell holds `laneWords` packed
+//    64-bit words, simulating 64 * laneWords lockstep bulk lanes per
+//    column-op — one host word instruction per lane-word instead of one
+//    per bit. Graph outputs are compared against the IR reference
 //    evaluator — any mapper/codegen bug surfaces as a verification
 //    failure. Reads of never-written cells or invalid buffer slots throw.
 //
@@ -33,9 +35,22 @@
 namespace sherlock::sim {
 
 struct SimOptions {
-  /// Bulk input words by input name (64-bit slice). Missing inputs get
-  /// deterministic pseudo-random words derived from `inputSeed`.
+  /// Packed lane-word count W: every cell/buffer value is W contiguous
+  /// 64-bit words, so one run simulates 64 * W lockstep bulk lanes (the
+  /// paper's 512–4096 bulk dimension at W = 8..64). Monte-Carlo harnesses
+  /// trade trial count against W at equal sample count.
+  int laneWords = 1;
+
+  /// Bulk input words by input name (64-bit slice, lane word 0). Missing
+  /// inputs — and lane words >= 1 of inputs not listed in `wideInputs` —
+  /// get deterministic pseudo-random words derived from `inputSeed` (see
+  /// defaultInputWord).
   std::map<std::string, uint64_t> inputs;
+
+  /// Full lane-width input values: exactly `laneWords` packed words per
+  /// named input. Takes precedence over `inputs` for every lane word.
+  std::map<std::string, std::vector<uint64_t>> wideInputs;
+
   uint64_t inputSeed = 0x5eed;
 
   /// Compare output cells against the reference evaluator.
@@ -56,7 +71,7 @@ struct SimOptions {
   /// flips its result bit in each bulk lane with its decision-failure
   /// probability P_DF. Used to validate the analytic P_app model
   /// (bench_reliability_mc). Output verification then REPORTS mismatching
-  /// lanes in SimResult::corruptedOutputLanes instead of throwing.
+  /// lanes in SimResult::corruptedLaneWords instead of throwing.
   bool injectFaults = false;
   uint64_t faultSeed = 1;
 
@@ -65,7 +80,7 @@ struct SimOptions {
   /// every scouting op sensing them (injection and the analytic P_app
   /// both see the inflated value); with a positive row write budget,
   /// rows wear out mid-run and convert to stuck-at-LRS. Output
-  /// verification REPORTS mismatches in corruptedOutputLanes instead of
+  /// verification REPORTS mismatches in corruptedLaneWords instead of
   /// throwing, like injectFaults. Dimensions must match the target.
   const device::FaultMap* faultMap = nullptr;
 
@@ -113,7 +128,7 @@ struct SimResult {
 
   /// Outcome of the output comparison (options.verify): true iff every
   /// output lane matched the reference evaluator. Under injectFaults or a
-  /// fault map, mismatches are recorded in corruptedOutputLanes and
+  /// fault map, mismatches are recorded in corruptedLaneWords and
   /// verified reports whether any lane was actually corrupted.
   bool verified = false;
 
@@ -121,10 +136,14 @@ struct SimResult {
   std::vector<StallEvent> stallEvents;
 
   /// Fault injection only: number of injected bit flips, and the bulk
-  /// lanes (bitmask over the 64 simulated lanes) whose final outputs
-  /// differ from the fault-free reference.
+  /// lanes whose final outputs differ from the fault-free reference —
+  /// one packed bitmask word per lane word (size laneWords; lane
+  /// 64 * w + b corresponds to bit b of word w).
   long injectedFaults = 0;
-  uint64_t corruptedOutputLanes = 0;
+  std::vector<uint64_t> corruptedLaneWords;
+
+  /// Total corrupted lanes (popcount over corruptedLaneWords).
+  long corruptedLanes() const;
 
   /// Fault-tolerant execution counters (faultMap / guardedExecution).
   long guardedOps = 0;      ///< column-ops that ran with a check read
@@ -146,8 +165,12 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
                    const mapping::Program& program,
                    const SimOptions& options = {});
 
-/// Deterministic input word for a named input (shared by the simulator and
-/// tests so both sides agree on unspecified inputs).
-uint64_t defaultInputWord(const std::string& name, uint64_t seed);
+/// Deterministic input word for lane word `wordIndex` of a named input
+/// (shared by the simulator and tests so both sides agree on unspecified
+/// inputs). Word 0 reproduces the historical single-word synthesis; the
+/// words of one input are consecutive draws of one name-and-seed-keyed
+/// stream, so all 64 * laneWords lanes carry independent data.
+uint64_t defaultInputWord(const std::string& name, uint64_t seed,
+                          int wordIndex = 0);
 
 }  // namespace sherlock::sim

@@ -69,6 +69,13 @@ BitVector BitVector::fromUint64(uint64_t value, size_t size) {
   return r;
 }
 
+BitVector BitVector::fromWords(const uint64_t* words, size_t size) {
+  BitVector r(size);
+  for (size_t i = 0; i < r.words_.size(); ++i) r.words_[i] = words[i];
+  r.clearPadding();
+  return r;
+}
+
 uint64_t BitVector::toUint64() const {
   return words_.empty() ? 0
                         : (size_ >= 64 ? words_[0]

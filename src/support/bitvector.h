@@ -89,6 +89,22 @@ class BitVector {
   /// Interprets the low min(size, 64) bits as an unsigned integer.
   uint64_t toUint64() const;
 
+  // --- Packed word access (multi-word lane interop) ----------------------
+  /// Number of 64-bit storage words (ceil(size / 64)).
+  size_t wordCount() const { return words_.size(); }
+
+  /// The i-th 64-bit storage word (bits [64i, 64i+64), padding zeroed).
+  uint64_t word(size_t i) const {
+    SHERLOCK_ASSERT(i < words_.size(), "word index ", i, " out of range ",
+                    words_.size());
+    return words_[i];
+  }
+
+  /// Builds a vector of `size` bits from packed words (low word first);
+  /// `words` must hold at least ceil(size / 64) entries. Bits beyond
+  /// `size` in the last word are discarded.
+  static BitVector fromWords(const uint64_t* words, size_t size);
+
  private:
   struct And {
     uint64_t operator()(uint64_t a, uint64_t b) const { return a & b; }

@@ -4,6 +4,7 @@
 // this generator so that runs are reproducible from a seed.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -46,7 +47,27 @@ class Rng {
   }
 
   /// Uniform integer in [0, bound). `bound` must be positive.
-  uint64_t below(uint64_t bound) { return (*this)() % bound; }
+  ///
+  /// Lemire's nearly-divisionless rejection method: the naive modulo
+  /// reduction over-weights the low residues whenever 2^64 is not a
+  /// multiple of `bound`, with bias up to bound / 2^64 per value. The
+  /// 128-bit multiply maps the raw draw onto [0, bound) and rejects only
+  /// the (at most bound) draws landing in the uneven remainder strip, so
+  /// the result is exactly uniform while almost every call still costs a
+  /// single multiply.
+  uint64_t below(uint64_t bound) {
+    unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;  // (2^64 - bound) mod bound
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>((*this)()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   int64_t range(int64_t lo, int64_t hi) {
@@ -66,5 +87,46 @@ class Rng {
 
   uint64_t state_[4];
 };
+
+/// Batched Bernoulli(p) bit sampling over `nWords` packed 64-bit words
+/// (64 * nWords lanes): toggles each lane's bit independently with
+/// probability `p` and returns the number of toggled bits.
+///
+/// Instead of drawing one uniform per lane, the gap to the next set lane
+/// is drawn from the geometric distribution on {0, 1, ...},
+///   gap = floor(log(u) / log(1 - p)),  u ~ U(0, 1),
+/// which reproduces iid Bernoulli(p) lanes exactly (the gaps between
+/// successes of a Bernoulli process are geometric) at a cost of one draw
+/// plus one log per *set bit* — for the P_DF regime of the simulator
+/// (p ~ 1e-4) that is one draw per call instead of 64 * nWords.
+///
+/// Consumes a deterministic, p-and-outcome-dependent number of draws from
+/// `rng`; callers relying on reproducibility must derive a dedicated
+/// stream per trial (see deriveSeed).
+inline long sampleBernoulliBits(Rng& rng, double p, uint64_t* words,
+                                size_t nWords) {
+  if (p <= 0.0 || nWords == 0) return 0;
+  const uint64_t lanes = static_cast<uint64_t>(nWords) * 64;
+  if (p >= 1.0) {
+    for (size_t w = 0; w < nWords; ++w) words[w] = ~words[w];
+    return static_cast<long>(lanes);
+  }
+  const double logq = std::log1p(-p);  // log(1 - p) < 0
+  long flips = 0;
+  uint64_t lane = 0;
+  while (true) {
+    double u = rng.uniform();
+    if (u <= 0.0) break;  // log(0) = -inf: the next success never arrives
+    double gap = std::floor(std::log(u) / logq);
+    // Compare in double before casting: the gap can exceed 2^63 when u is
+    // tiny and p small.
+    if (gap >= static_cast<double>(lanes - lane)) break;
+    lane += static_cast<uint64_t>(gap);
+    words[lane >> 6] ^= uint64_t{1} << (lane & 63);
+    ++flips;
+    if (++lane >= lanes) break;
+  }
+  return flips;
+}
 
 }  // namespace sherlock

@@ -19,6 +19,7 @@
 
 #include "cpu/cpu_model.h"
 #include "dag_fuzz.h"
+#include "support/bitvector.h"
 #include "ir/evaluator.h"
 #include "sim/simulator.h"
 #include "transforms/passes.h"
@@ -28,32 +29,59 @@
 namespace sherlock::testing {
 namespace {
 
+constexpr int kFuzzLaneWidths[] = {1, 4};
+
 void runSeed(uint64_t seed) {
   workloads::RandomDagSpec spec = sampleDagSpec(seed);
   ir::Graph g = transforms::canonicalize(workloads::buildRandomDag(spec));
 
-  // Deterministic inputs, shared across all three executions.
-  std::map<std::string, uint64_t> words;
-  ir::InputValues lanes;
+  // Deterministic inputs, shared across all executions and lane widths:
+  // lane word w of input `name` is defaultInputWord(name, seed, w), so
+  // the laneWords=1 run's lanes are exactly the first 64 lanes of the
+  // laneWords=4 run.
+  constexpr int kMaxW = 4;
+  std::map<std::string, uint64_t> words;                 // scalar path
+  std::map<std::string, std::vector<uint64_t>> wide;     // packed path
   for (ir::NodeId id : g.inputNodes()) {
     const std::string& name = g.node(id).name;
-    uint64_t w = sim::defaultInputWord(name, seed);
-    words[name] = w;
-    BitVector v(64);
-    for (size_t b = 0; b < 64; ++b) v.set(b, (w >> b) & 1);
-    lanes[name] = std::move(v);
+    auto& v = wide[name];
+    for (int w = 0; w < kMaxW; ++w)
+      v.push_back(sim::defaultInputWord(name, seed, w));
+    words[name] = v[0];
   }
 
-  // Level 2b: word evaluator vs lane-wise BitVector evaluator.
-  std::vector<uint64_t> wordValues = ir::evaluateAllWords(g, words);
-  std::vector<BitVector> bulk = ir::evaluateOutputs(g, lanes);
-  ASSERT_EQ(bulk.size(), g.outputs().size());
-  for (size_t i = 0; i < g.outputs().size(); ++i) {
-    uint64_t w = wordValues[static_cast<size_t>(g.outputs()[i])];
-    for (size_t b = 0; b < 64; ++b)
-      ASSERT_EQ(bulk[i].get(b), ((w >> b) & 1) != 0)
-          << "evaluator disagreement on output " << g.outputs()[i]
-          << " lane " << b;
+  // Level 2b at each width: packed word evaluator vs lane-wise BitVector
+  // evaluator on all 64 * W lanes.
+  for (int W : kFuzzLaneWidths) {
+    SCOPED_TRACE(strCat("evaluators, laneWords ", W));
+    std::map<std::string, std::vector<uint64_t>> inputsW;
+    ir::InputValues lanes;
+    for (const auto& [name, v] : wide) {
+      inputsW[name].assign(v.begin(), v.begin() + W);
+      lanes[name] = BitVector::fromWords(v.data(), 64 * W);
+    }
+    std::vector<uint64_t> packed = ir::evaluateAllWordsPacked(g, inputsW, W);
+    std::vector<BitVector> bulk = ir::evaluateOutputs(g, lanes);
+    ASSERT_EQ(bulk.size(), g.outputs().size());
+    for (size_t i = 0; i < g.outputs().size(); ++i) {
+      const uint64_t* w =
+          packed.data() + static_cast<size_t>(g.outputs()[i]) * W;
+      for (size_t b = 0; b < static_cast<size_t>(64 * W); ++b)
+        ASSERT_EQ(bulk[i].get(b), ((w[b / 64] >> (b % 64)) & 1) != 0)
+            << "evaluator disagreement on output " << g.outputs()[i]
+            << " lane " << b;
+    }
+  }
+
+  // The legacy single-word evaluator must agree with lane word 0 of the
+  // packed one (it is the scalar slice of the same reference).
+  {
+    std::vector<uint64_t> wordValues = ir::evaluateAllWords(g, words);
+    std::map<std::string, std::vector<uint64_t>> inputs1;
+    for (const auto& [name, v] : wide) inputs1[name].assign(v.begin(),
+                                                            v.begin() + 1);
+    std::vector<uint64_t> packed1 = ir::evaluateAllWordsPacked(g, inputs1, 1);
+    ASSERT_EQ(wordValues, packed1);
   }
 
   // CPU baseline cost model accepts the DAG.
@@ -77,14 +105,25 @@ void runSeed(uint64_t seed) {
                                                     compiled.program);
     ASSERT_TRUE(vr.ok()) << vr.summary();
 
-    // Level 2a: simulator vs word evaluator (enforced inside simulate
-    // when verify is on).
-    sim::SimOptions sopts;
-    sopts.inputs = words;
-    sopts.staticVerify = false;  // already verified above
-    sim::SimResult res = sim::simulate(g, target, compiled.program, sopts);
-    ASSERT_TRUE(res.verified);
-    ASSERT_GT(res.latencyNs, 0.0);
+    // Level 2a at each width: simulator vs packed word evaluator
+    // (enforced inside simulate when verify is on). laneWords=1 feeds
+    // the scalar `inputs` map, laneWords=4 the `wideInputs` map, so both
+    // input-resolution paths stay covered.
+    for (int W : kFuzzLaneWidths) {
+      SCOPED_TRACE(strCat("laneWords ", W));
+      sim::SimOptions sopts;
+      sopts.laneWords = W;
+      if (W == 1) {
+        sopts.inputs = words;
+      } else {
+        for (const auto& [name, v] : wide)
+          sopts.wideInputs[name].assign(v.begin(), v.begin() + W);
+      }
+      sopts.staticVerify = false;  // already verified above
+      sim::SimResult res = sim::simulate(g, target, compiled.program, sopts);
+      ASSERT_TRUE(res.verified);
+      ASSERT_GT(res.latencyNs, 0.0);
+    }
   }
 }
 
@@ -138,7 +177,7 @@ void runFaultSeed(uint64_t seed) {
     sopts.guardedExecution = true;
     sopts.faultSeed = seed;
     sim::SimResult res = sim::simulate(g, target, compiled.program, sopts);
-    ASSERT_EQ(res.corruptedOutputLanes, 0u)
+    ASSERT_EQ(res.corruptedLanes(), 0)
         << "guarded execution corrupted lanes (injected "
         << res.injectedFaults << " faults, " << res.retriedOps
         << " retries, " << res.degradedOps << " degraded ops)";

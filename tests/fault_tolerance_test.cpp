@@ -83,7 +83,7 @@ TEST(FaultTolerance, GuardedMatchesReferenceOnPaperWorkloads) {
                               /*faultSeed=*/11, /*spareRows=*/8,
                               /*guarded=*/true);
       EXPECT_TRUE(r.sim.verified);
-      EXPECT_EQ(r.sim.corruptedOutputLanes, 0u);
+      EXPECT_EQ(r.sim.corruptedLanes(), 0);
       if (tech == device::Technology::SttMram) {
         // XOR-heavy workloads on low-TMR STT must actually engage the
         // guard — otherwise this test proves nothing.
@@ -106,9 +106,9 @@ TEST(FaultTolerance, UnguardedSttLosesLanesWhereGuardedSurvives) {
                               /*guarded=*/false);
     // Satellite bugfix regression: verified must report the actual
     // comparison outcome under injection, not a hardwired false.
-    EXPECT_EQ(raw.sim.verified, raw.sim.corruptedOutputLanes == 0)
+    EXPECT_EQ(raw.sim.verified, raw.sim.corruptedLanes() == 0)
         << "seed " << seed;
-    anyCorrupt |= raw.sim.corruptedOutputLanes != 0;
+    anyCorrupt |= raw.sim.corruptedLanes() != 0;
   }
   EXPECT_TRUE(anyCorrupt)
       << "expected at least one unguarded STT run to corrupt a lane";
@@ -127,7 +127,7 @@ TEST(FaultTolerance, VerifiedReportsComparisonOutcomeUnderInjection) {
   sopts.injectFaults = true;
   sopts.faultSeed = 5;
   sim::SimResult res = sim::simulate(g, target, compiled.program, sopts);
-  EXPECT_EQ(res.corruptedOutputLanes, 0u);
+  EXPECT_EQ(res.corruptedLanes(), 0);
   EXPECT_TRUE(res.verified);
 }
 
@@ -148,7 +148,7 @@ TEST(FaultTolerance, GuardedExecutionIsDeterministic) {
   EXPECT_EQ(a.sim.degradedOps, b.sim.degradedOps);
   EXPECT_EQ(a.sim.stuckCellReads, b.sim.stuckCellReads);
   EXPECT_EQ(a.sim.injectedFaults, b.sim.injectedFaults);
-  EXPECT_EQ(a.sim.corruptedOutputLanes, b.sim.corruptedOutputLanes);
+  EXPECT_EQ(a.sim.corruptedLaneWords, b.sim.corruptedLaneWords);
   EXPECT_DOUBLE_EQ(a.sim.latencyNs, b.sim.latencyNs);
   EXPECT_DOUBLE_EQ(a.sim.energyPj, b.sim.energyPj);
   EXPECT_DOUBLE_EQ(a.sim.pApp, b.sim.pApp);
@@ -230,7 +230,7 @@ TEST(FaultTolerance, ForeignStuckMapCorruptsUnawarePlacement) {
   sim::SimResult res = sim::simulate(g, target, compiled.program, sopts);
   EXPECT_GT(res.stuckCellReads, 0);
   EXPECT_FALSE(res.verified);
-  EXPECT_NE(res.corruptedOutputLanes, 0u);
+  EXPECT_NE(res.corruptedLanes(), 0);
 }
 
 // Endurance: a tiny row write budget wears rows out mid-run, the worn

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
+#include <cmath>
 #include <cstdlib>
 #include <numeric>
 #include <thread>
+#include <vector>
 
 #include "support/bitvector.h"
 #include "support/parallel.h"
@@ -87,6 +90,82 @@ TEST(Rng, UniformBounds) {
     EXPECT_GE(r, -5);
     EXPECT_LE(r, 5);
   }
+}
+
+TEST(Rng, BelowIsUnbiasedAtLargeBounds) {
+  // bound = 3 * 2^62: reducing a uniform 64-bit draw with naive modulo
+  // gives every value below 2^62 two preimages (x and x + bound) and
+  // every other value one, so P(result < 2^62) would be 1/2 instead of
+  // the unbiased 1/3. Lemire rejection sampling must keep it at 1/3.
+  Rng rng(123);
+  const uint64_t bound = uint64_t{3} << 62;
+  const int kDraws = 30000;
+  int low = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.below(bound);
+    ASSERT_LT(v, bound);
+    if (v < (uint64_t{1} << 62)) ++low;
+  }
+  double frac = static_cast<double>(low) / kDraws;
+  // 1/3 +- ~5.5 sigma (sigma = sqrt(p(1-p)/n) ~ 0.0027); the modulo bias
+  // would land at ~0.5, ~60 sigma away.
+  EXPECT_NEAR(frac, 1.0 / 3.0, 0.015);
+}
+
+TEST(Rng, BelowIsDeterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.below(999983), b.below(999983));
+}
+
+TEST(Rng, SampleBernoulliBitsMatchesBernoulliRate) {
+  // The batched geometric sampler must reproduce the per-lane Bernoulli
+  // flip rate it replaces: over N lanes, flips ~ Binomial(N, p).
+  constexpr size_t kWords = 64;          // 4096 lanes per call
+  constexpr int kCalls = 50;             // 204800 lanes total
+  const double ps[] = {0.001, 0.05, 0.3};
+  Rng rng(2024);
+  for (double p : ps) {
+    long flips = 0;
+    for (int c = 0; c < kCalls; ++c) {
+      std::vector<uint64_t> words(kWords, 0);
+      long n = sampleBernoulliBits(rng, p, words.data(), kWords);
+      // The return value is the number of toggles; from a zero buffer
+      // each toggle sets a distinct bit.
+      long pop = 0;
+      for (uint64_t w : words) pop += std::popcount(w);
+      ASSERT_EQ(n, pop);
+      flips += n;
+    }
+    const double lanes = 64.0 * kWords * kCalls;
+    double expected = p * lanes;
+    double sigma = std::sqrt(lanes * p * (1.0 - p));
+    EXPECT_NEAR(static_cast<double>(flips), expected, 5.0 * sigma)
+        << "flip rate off for p = " << p;
+  }
+}
+
+TEST(Rng, SampleBernoulliBitsEdgeCases) {
+  std::vector<uint64_t> words(4, 0xdeadbeefdeadbeefULL);
+  Rng rng(1);
+  // p = 0: no toggles.
+  EXPECT_EQ(sampleBernoulliBits(rng, 0.0, words.data(), words.size()), 0);
+  EXPECT_EQ(words[0], 0xdeadbeefdeadbeefULL);
+  // p = 1: every lane toggles (XOR semantics, not set).
+  EXPECT_EQ(sampleBernoulliBits(rng, 1.0, words.data(), words.size()),
+            static_cast<long>(64 * words.size()));
+  EXPECT_EQ(words[0], ~0xdeadbeefdeadbeefULL);
+  // Empty buffer.
+  EXPECT_EQ(sampleBernoulliBits(rng, 0.5, nullptr, 0), 0);
+}
+
+TEST(Rng, SampleBernoulliBitsIsDeterministic) {
+  std::vector<uint64_t> a(8, 0), b(8, 0);
+  Rng ra(99), rb(99);
+  long na = sampleBernoulliBits(ra, 0.07, a.data(), a.size());
+  long nb = sampleBernoulliBits(rb, 0.07, b.data(), b.size());
+  EXPECT_EQ(na, nb);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(na, 0);  // 512 lanes at p = 0.07: zero flips is implausible
 }
 
 TEST(Stats, MeanGeomeanStddev) {
