@@ -1,0 +1,160 @@
+// Multi-array scaling evaluation: what a mesh of small arrays buys over
+// one monolithic array of the same total cell count.
+//
+// Grid: workload (AES-128, 16-bit BitWeaving predicate) x mesh size
+// (1x1, 1x2, 2x2) at an equal silicon budget — the 1x1 monolith has
+// dimension D, an RxC mesh uses arrays of ~D/sqrt(R*C). Smaller arrays
+// sense faster (shorter bitlines/wordlines, narrower decoders), but the
+// kernel no longer fits one array of the mesh: the partitioner shards
+// its clusters and codegen stitches the cut edges with modeled XFERs
+// (source sense + Manhattan hop latency on the shared bus + posted
+// destination write). Reported per point: instructions, xfers, bus
+// occupancy, simulated latency and energy, the partitioner's overlapped
+// vs serialized makespan estimate, and the latency speedup over the
+// same workload's 1x1 run.
+//
+// --json <path> writes the machine-readable artifact CI uploads
+// (BENCH_7.json); --dim <N> overrides the 1x1 base dimension and
+// --workload filters (exploration only).
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "bench/json.h"
+#include "bench/sweep.h"
+#include "support/table.h"
+
+using namespace sherlock;
+using namespace sherlock::bench;
+
+namespace {
+
+struct GridPoint {
+  const char* name;
+  int rows;
+  int cols;
+};
+
+constexpr GridPoint kGrids[] = {{"1x1", 1, 1}, {"1x2", 1, 2}, {"2x2", 2, 2}};
+
+// Per-workload base dimension D of the 1x1 monolith, sized so the
+// kernel's clusters exceed one mesh array's columns at D/2 (the 2x2
+// genuinely shards) while still fitting the monolith.
+int baseDimFor(const std::string& workload, int override_) {
+  if (override_ > 0) return override_;
+  return workload == "AES" ? 320 : 192;
+}
+
+// Equal-silicon array dimension for an RxC mesh: D / sqrt(R*C),
+// rounded (R*C is 1, 2, or 4 here).
+int meshDim(int baseDim, int gridCells) {
+  return static_cast<int>(
+      std::lround(baseDim / std::sqrt(static_cast<double>(gridCells))));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  std::string only;
+  int dimOverride = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) jsonPath = argv[++i];
+    else if (arg == "--dim" && i + 1 < argc) dimOverride = std::stoi(argv[++i]);
+    else if (arg == "--workload" && i + 1 < argc) only = argv[++i];
+  }
+
+  std::vector<const char*> kWl = {"Bitweaving", "AES"};
+  if (!only.empty()) kWl = {only.c_str()};
+
+  std::vector<SweepJob> jobs;
+  for (const char* w : kWl)
+    for (const GridPoint& gp : kGrids) {
+      RunConfig cfg;
+      cfg.arrayDim =
+          meshDim(baseDimFor(w, dimOverride), gp.rows * gp.cols);
+      cfg.grid.rows = gp.rows;
+      cfg.grid.cols = gp.cols;
+      jobs.push_back({w, cfg});
+    }
+  std::vector<RunResult> results = runSweep(jobs);
+
+  Table table("Multi-array scaling (ReRAM, optimized mapping)");
+  table.setHeader({"workload", "dim", "grid", "instr", "xfers", "moves",
+                   "bus us", "stall us", "latency us", "energy uJ",
+                   "overlap/serial", "speedup"});
+  Json configs = Json::array();
+  std::map<std::string, double> baseline;  // workload -> 1x1 latency
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const SweepJob& j = jobs[i];
+    const RunResult& r = results[i];
+    std::string grid = strCat(j.config.grid.rows, "x", j.config.grid.cols);
+    if (grid == "1x1") baseline[j.workload] = r.sim.latencyNs;
+    double speedup = baseline[j.workload] / r.sim.latencyNs;
+    double overlapRatio =
+        r.partition.serializedMakespanNs > 0
+            ? r.partition.overlappedMakespanNs / r.partition.serializedMakespanNs
+            : 1.0;
+    table.addRow({j.workload, std::to_string(j.config.arrayDim), grid,
+                  std::to_string(r.instructionCount),
+                  std::to_string(r.sim.xferCount),
+                  std::to_string(r.sim.moveCount),
+                  Table::num(r.sim.busBusyNs / 1000.0),
+                  Table::num(r.sim.stallNs / 1000.0),
+                  Table::num(r.sim.latencyUs()), Table::num(r.sim.energyUj()),
+                  Table::num(overlapRatio), Table::num(speedup)});
+    Json c = Json::object();
+    c.set("workload", j.workload)
+        .set("grid", grid)
+        .set("tech", "reram")
+        .set("array_dim", j.config.arrayDim)
+        .set("instructions", static_cast<long>(r.instructionCount))
+        .set("xfers", r.sim.xferCount)
+        .set("moves", r.sim.moveCount)
+        .set("bus_busy_ns", r.sim.busBusyNs)
+        .set("bus_wait_ns", r.sim.busWaitNs)
+        .set("latency_ns", r.sim.latencyNs)
+        .set("energy_pj", r.sim.energyPj)
+        .set("overlapped_makespan_ns", r.partition.overlappedMakespanNs)
+        .set("serialized_makespan_ns", r.partition.serializedMakespanNs)
+        .set("single_array_fallback", r.partition.singleArray)
+        .set("speedup_vs_1x1", speedup)
+        .set("verified", r.sim.verified);
+    configs.push(std::move(c));
+  }
+  table.print(std::cout);
+
+  bool win = true;
+  for (const char* w : kWl) {
+    double lat1x1 = 0, lat2x2 = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].workload != w) continue;
+      std::string grid =
+          strCat(jobs[i].config.grid.rows, "x", jobs[i].config.grid.cols);
+      if (grid == "1x1") lat1x1 = results[i].sim.latencyNs;
+      if (grid == "2x2") lat2x2 = results[i].sim.latencyNs;
+    }
+    std::cout << w << ": 2x2 vs 1x1 latency " << lat2x2 / 1000.0 << " vs "
+              << lat1x1 / 1000.0 << " us ("
+              << (lat2x2 < lat1x1 ? "faster" : "NOT faster") << ")\n";
+    win = win && lat2x2 < lat1x1;
+  }
+
+  if (!jsonPath.empty()) {
+    Json root = Json::object();
+    root.set("pr", 7)
+        .set("title", "Multi-array sharding & inter-array scheduling")
+        .set("benchmark",
+             "bench_multi_array: AES-128 + 16-bit BitWeaving across "
+             "1x1/1x2/2x2 meshes, modeled XFER costs (10 ns/hop)")
+        .set("metric", "simulated latency_ns per (workload, grid) config")
+        .set("grid_beats_single_array", win)
+        .set("configs", std::move(configs));
+    std::ofstream out(jsonPath);
+    out << root.dump();
+    std::cout << "\nWrote JSON to " << jsonPath << "\n";
+  }
+  return win ? 0 : 1;
+}

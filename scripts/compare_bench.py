@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Latency regression gate between two bench JSON artifacts.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.05]
+
+Both artifacts may carry a "configs" array whose entries describe one
+benchmark point each; entries are matched on (workload, grid, tech,
+array_dim) and compared on latency_ns. The gate fails (exit 1) when the
+geometric-mean latency over the shared configs regresses by more than
+the threshold. Artifacts without comparable configs (older PRs report
+different metrics, e.g. BENCH_6.json's Monte-Carlo wall-clock) pass
+with a note: there is nothing to compare, not a regression.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def config_key(c):
+    return (
+        c.get("workload"),
+        c.get("grid"),
+        c.get("tech"),
+        c.get("array_dim"),
+    )
+
+
+def latency_configs(doc):
+    out = {}
+    for c in doc.get("configs", []):
+        lat = c.get("latency_ns")
+        if isinstance(lat, (int, float)) and lat > 0:
+            out[config_key(c)] = float(lat)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.05,
+                    help="max allowed geomean latency regression (default 5%%)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    base_lat = latency_configs(base)
+    cur_lat = latency_configs(cur)
+    shared = sorted(set(base_lat) & set(cur_lat))
+    if not shared:
+        print(f"compare_bench: no shared latency configs between "
+              f"{args.baseline} ({len(base_lat)} configs) and "
+              f"{args.current} ({len(cur_lat)} configs); nothing to gate")
+        return 0
+
+    log_sum = 0.0
+    print(f"{'config':<40} {'base us':>10} {'cur us':>10} {'ratio':>7}")
+    for key in shared:
+        ratio = cur_lat[key] / base_lat[key]
+        log_sum += math.log(ratio)
+        name = "/".join(str(k) for k in key)
+        print(f"{name:<40} {base_lat[key] / 1e3:>10.2f} "
+              f"{cur_lat[key] / 1e3:>10.2f} {ratio:>7.3f}")
+    geomean = math.exp(log_sum / len(shared))
+    print(f"geomean latency ratio over {len(shared)} shared configs: "
+          f"{geomean:.4f} (threshold {1 + args.threshold:.2f})")
+    if geomean > 1 + args.threshold:
+        print("compare_bench: FAIL — latency regressed beyond threshold")
+        return 1
+    print("compare_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

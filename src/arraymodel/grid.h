@@ -1,0 +1,46 @@
+// Physical arrangement of the arrays a multi-array target exposes: an
+// R x C mesh with a shared inter-array bus whose transfer cost scales
+// with the Manhattan hop distance between the two endpoint arrays.
+//
+// An unconfigured grid (rows == 0) preserves the historical flat-bus
+// model: every inter-array transfer costs exactly one hop at the default
+// per-hop latency/energy, regardless of the array ids involved. This is
+// what keeps single-array and legacy multi-array programs bit- and
+// cost-identical when no --grid is given.
+#pragma once
+
+#include <string>
+
+namespace sherlock::arraymodel {
+
+struct GridConfig {
+  /// Mesh dimensions. rows == 0 means "unconfigured": the target's
+  /// arrays sit on a flat bus (every transfer is one hop).
+  int rows = 0;
+  int cols = 0;
+
+  /// Per-hop bus cost. The defaults reproduce the pre-grid flat bus
+  /// (10 ns / 0.5 pJ-per-bit per transfer).
+  double hopLatencyNs = 10.0;
+  double hopEnergyPerBitPj = 0.5;
+
+  bool configured() const { return rows > 0 && cols > 0; }
+
+  /// Arrays the mesh addresses (0 when unconfigured).
+  int cells() const { return configured() ? rows * cols : 0; }
+
+  /// Manhattan distance between two array ids laid out row-major on the
+  /// mesh; 0 for a == b. Throws Error when either id is outside the
+  /// mesh or the grid is unconfigured.
+  int hopDistance(int a, int b) const;
+
+  /// Parses "RxC" (e.g. "2x4"). Throws Error on malformed input.
+  static GridConfig parse(const std::string& text);
+
+  /// "RxC" rendering ("unconfigured" when rows == 0).
+  std::string toString() const;
+
+  bool operator==(const GridConfig& other) const = default;
+};
+
+}  // namespace sherlock::arraymodel

@@ -82,7 +82,12 @@ std::string Instruction::toString() const {
       break;
     case InstKind::Move:
       os << "move [" << arrayId << "][" << joinInts(columns) << "] -> ["
-         << moveDstArray << "][" << moveDstCol << "]";
+         << dstArray << "][" << dstCol << "]";
+      break;
+    case InstKind::Xfer:
+      os << "xfer [" << arrayId << "][" << joinInts(columns) << "]["
+         << joinInts(rows) << "] -> [" << dstArray << "][" << dstCol << "]["
+         << dstRow << "]";
       break;
   }
   return os.str();
@@ -116,8 +121,21 @@ Instruction Instruction::parse(const std::string& line) {
     inst.arrayId = std::stoi(nextBracketGroup(line, pos));
     inst.columns = splitInts(nextBracketGroup(line, pos));
     checkArg(inst.columns.size() == 1, "move takes one source column");
-    inst.moveDstArray = std::stoi(nextBracketGroup(line, pos));
-    inst.moveDstCol = std::stoi(nextBracketGroup(line, pos));
+    inst.dstArray = std::stoi(nextBracketGroup(line, pos));
+    inst.dstCol = std::stoi(nextBracketGroup(line, pos));
+    return inst;
+  }
+
+  if (mnemonic == "xfer") {
+    inst.kind = InstKind::Xfer;
+    inst.arrayId = std::stoi(nextBracketGroup(line, pos));
+    inst.columns = splitInts(nextBracketGroup(line, pos));
+    checkArg(inst.columns.size() == 1, "xfer takes one source column");
+    inst.rows = splitInts(nextBracketGroup(line, pos));
+    checkArg(inst.rows.size() == 1, "xfer takes one source row");
+    inst.dstArray = std::stoi(nextBracketGroup(line, pos));
+    inst.dstCol = std::stoi(nextBracketGroup(line, pos));
+    inst.dstRow = std::stoi(nextBracketGroup(line, pos));
     return inst;
   }
 
@@ -194,8 +212,21 @@ Instruction makeMove(int srcArray, int srcCol, int dstArray, int dstCol) {
   i.kind = InstKind::Move;
   i.arrayId = srcArray;
   i.columns = {srcCol};
-  i.moveDstArray = dstArray;
-  i.moveDstCol = dstCol;
+  i.dstArray = dstArray;
+  i.dstCol = dstCol;
+  return i;
+}
+
+Instruction makeXfer(int srcArray, int srcCol, int srcRow, int dstArray,
+                     int dstCol, int dstRow) {
+  Instruction i;
+  i.kind = InstKind::Xfer;
+  i.arrayId = srcArray;
+  i.columns = {srcCol};
+  i.rows = {srcRow};
+  i.dstArray = dstArray;
+  i.dstCol = dstCol;
+  i.dstRow = dstRow;
   return i;
 }
 
@@ -233,10 +264,25 @@ void validateInstruction(const Instruction& inst, int numArrays, int rows,
     checkArg(inst.columns.size() == 1, "move takes one source column");
     checkArg(inst.columns[0] >= 0 && inst.columns[0] < cols,
              "move source column out of range");
-    checkArg(inst.moveDstArray >= 0 && inst.moveDstArray < numArrays,
+    checkArg(inst.dstArray >= 0 && inst.dstArray < numArrays,
              "move destination array out of range");
-    checkArg(inst.moveDstCol >= 0 && inst.moveDstCol < cols,
+    checkArg(inst.dstCol >= 0 && inst.dstCol < cols,
              "move destination column out of range");
+    return;
+  }
+  if (inst.kind == InstKind::Xfer) {
+    checkArg(inst.columns.size() == 1, "xfer takes one source column");
+    checkArg(inst.rows.size() == 1, "xfer takes one source row");
+    checkArg(inst.columns[0] >= 0 && inst.columns[0] < cols,
+             "xfer source column out of range");
+    checkArg(inst.rows[0] >= 0 && inst.rows[0] < rows,
+             "xfer source row out of range");
+    checkArg(inst.dstArray >= 0 && inst.dstArray < numArrays,
+             "xfer destination array out of range");
+    checkArg(inst.dstCol >= 0 && inst.dstCol < cols,
+             "xfer destination column out of range");
+    checkArg(inst.dstRow >= 0 && inst.dstRow < rows,
+             "xfer destination row out of range");
     return;
   }
   checkArg(!inst.columns.empty(), "read/write needs columns");

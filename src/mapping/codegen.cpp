@@ -41,6 +41,7 @@ class CodeGenerator {
   // ---------------------------------------------------------------- state
   void initState() {
     usesLeft_.assign(g_.numNodes(), 0);
+    lastLanding_.assign(g_.numNodes(), -1);
     isOutput_.assign(g_.numNodes(), false);
     for (NodeId i = g_.firstId(); i < g_.endId(); ++i)
       for (NodeId o : g_.node(i).operands)
@@ -89,7 +90,8 @@ class CodeGenerator {
     if (prog_.instructions.empty()) return false;
     Instruction& prev = prog_.instructions.back();
     if (prev.kind != inst.kind || prev.arrayId != inst.arrayId) return false;
-    if (inst.kind == InstKind::Shift || inst.kind == InstKind::Move)
+    if (inst.kind == InstKind::Shift || inst.kind == InstKind::Move ||
+        inst.kind == InstKind::Xfer)
       return false;
     if (prev.rows != inst.rows) return false;
     bool prevIsCim = !prev.colOps.empty();
@@ -180,6 +182,7 @@ class CodeGenerator {
     CellAddress cell = layout_.allocate(v, where);
     emit(isa::makeWrite(arrayId, {col}, cell.row));
     prog_.stats.spillWrites++;
+    noteLanding(v);
     touch(arrayId, col);
   }
 
@@ -231,6 +234,7 @@ class CodeGenerator {
     CellAddress cell = layout_.allocate(victim, {where.arrayId, bestCol});
     emit(isa::makeWrite(where.arrayId, {bestCol}, cell.row));
     prog_.stats.spillWrites++;
+    noteLanding(victim);
     touch(where.arrayId, bestCol);
     layout_.releaseCellIn(victim, where);
   }
@@ -296,6 +300,27 @@ class CodeGenerator {
             src = &c;
             break;
           }
+        if (src->arrayId != xc.arrayId) {
+          // Cross-array cell source: one cell-to-cell transfer replaces
+          // the buffered plain-read + move + write round trip and leaves
+          // both row buffers undisturbed. The only destination the
+          // transfer engine may not program is the spare-reserved repair
+          // region — if the allocation was repaired there, release it
+          // and fall through to the buffered path (whose write goes
+          // through the normal repair machinery).
+          CellAddress dstCell = layout_.allocate(v, xc);
+          if (dstCell.row < layout_.mainRowLimit()) {
+            emit(isa::makeXfer(src->arrayId, src->col, src->row,
+                               xc.arrayId, xc.col, dstCell.row));
+            prog_.stats.xfers++;
+            noteLanding(v);
+            touch(xc.arrayId, xc.col);
+            if (!options_.reuseMovedCopies && options_.eagerWriteback)
+              tempCopies_.insert({v, xc});
+            return dstCell.row;
+          }
+          layout_.releaseCellIn(v, xc);
+        }
         // The plain read clobbers the source column's buffer slot.
         if (buffer_[static_cast<size_t>(src->arrayId)].count(src->col) &&
             buffer_[static_cast<size_t>(src->arrayId)][src->col] != v)
@@ -325,6 +350,7 @@ class CodeGenerator {
     CellAddress cell = layout_.allocate(v, xc);
     emit(isa::makeWrite(xc.arrayId, {xc.col}, cell.row));
     prog_.stats.spillWrites++;
+    noteLanding(v);
     touch(xc.arrayId, xc.col);
     // Scratch-copy tracking only applies to the single-pass (eager) flow;
     // the two-pass flow prepares a whole wave before reading.
@@ -341,6 +367,70 @@ class CodeGenerator {
           layout_.placementIn(value, where))
         layout_.releaseCellIn(value, where);
     tempCopies_.clear();
+  }
+
+  /// Producer-side transfer push, deferred by one wave: results with
+  /// remote consumers are queued when produced and transferred at the
+  /// start of the NEXT wave. The deferral is what makes the movement
+  /// free: the producer's flush write has a wave of slack before the
+  /// transfer senses it, and the transfer's bus leg plus posted landing
+  /// write complete while the new wave computes — consumer reads (a
+  /// wave later at the earliest) then find the row ready. This is the
+  /// compute/movement overlap the inter-array schedule is built around.
+  void pushToRemoteConsumers(NodeId v, ColumnRef xc) {
+    for (NodeId u : g_.node(v).users)
+      if (plan_.opLocation[static_cast<size_t>(u)].arrayId != xc.arrayId) {
+        pendingPushes_.push_back({v, xc});
+        return;
+      }
+  }
+
+  /// Emits the transfers queued by pushToRemoteConsumers during the
+  /// previous wave. Entries whose value died, was evicted from the
+  /// source column, or whose remote column is full (or repaired into
+  /// the XFER-illegal spare region) are dropped — the consumer falls
+  /// back to an on-demand fetch.
+  void drainTransferPushes() {
+    for (const auto& [v, xc] : pendingPushes_) {
+      if (usesLeft_[static_cast<size_t>(v)] == 0) continue;
+      auto src = layout_.placementIn(v, xc);
+      if (!src) continue;
+      std::vector<ColumnRef> remote;
+      for (NodeId u : g_.node(v).users) {
+        ColumnRef uc = plan_.opLocation[static_cast<size_t>(u)];
+        if (uc.arrayId == xc.arrayId) continue;
+        if (std::find(remote.begin(), remote.end(), uc) == remote.end())
+          remote.push_back(uc);
+      }
+      for (ColumnRef rc : remote) {
+        if (layout_.placementIn(v, rc)) continue;
+        if (layout_.freeCells(rc) == 0) continue;
+        CellAddress dst = layout_.allocate(v, rc);
+        if (dst.row >= layout_.mainRowLimit()) {
+          layout_.releaseCellIn(v, rc);  // spare region is XFER-illegal
+          continue;
+        }
+        emit(isa::makeXfer(src->arrayId, src->col, src->row, rc.arrayId,
+                           rc.col, dst.row));
+        prog_.stats.xfers++;
+        noteLanding(v);
+        touch(rc.arrayId, rc.col);
+      }
+    }
+    pendingPushes_.clear();
+  }
+
+  /// True when `v`'s nearest copy is a cell on a different array — no
+  /// buffer or cell copy exists in `xc`'s array, so movement crosses the
+  /// mesh. ensureInColumn serves that case with a background XFER;
+  /// chaining it through a synchronous bus Move would be slower.
+  bool crossArrayCellSource(NodeId v, ColumnRef xc) const {
+    if (findInBuffer(xc.arrayId, v) >= 0) return false;
+    auto cells = layout_.placements(v);
+    if (cells.empty()) return false;
+    for (const CellAddress& c : cells)
+      if (c.arrayId == xc.arrayId) return false;
+    return true;
   }
 
   /// Brings `v` into the row buffer of `xc` WITHOUT materializing a cell —
@@ -401,6 +491,7 @@ class CodeGenerator {
         Instruction w = isa::makeWrite(where.arrayId, {where.col}, cell.row);
         emit(std::move(w), {i});
         prog_.stats.hostWrites++;
+        noteLanding(i);
         touch(where.arrayId, where.col);
       }
     }
@@ -437,11 +528,22 @@ class CodeGenerator {
         // Naive flow: straightforward per-node emission (Algorithm 1).
         for (NodeId op : wave) emitOp(op);
       } else {
-        // Optimized flow: emit the wave's full movements (cell
-        // materializations) first, then the CIM reads. The movement
-        // writes gain a wave's worth of slack before any read activates
-        // their rows, so the posted-write model can hide them.
+        // Optimized flow: transfers queued by the previous wave go out
+        // first (their landing writes ride under this wave's compute),
+        // then the wave's full movements (cell materializations), then
+        // the CIM reads. The movement writes gain a wave's worth of
+        // slack before any read activates their rows, so the
+        // posted-write model can hide them.
+        drainTransferPushes();
         for (NodeId op : wave) prepareOperands(op);
+        // Read pass, oldest operands first: an op whose operand cell was
+        // written or transferred moments ago (by the drain or the
+        // movement pass above) goes last, so the posted landing write
+        // completes under the other ops' compute instead of stalling the
+        // activating read.
+        std::stable_sort(wave.begin(), wave.end(), [&](NodeId a, NodeId b) {
+          return operandFreshness(a) < operandFreshness(b);
+        });
         for (NodeId op : wave) emitOp(op);
       }
     }
@@ -470,6 +572,7 @@ class CodeGenerator {
         if (layout_.placementIn(o, xc)) continue;
         if (std::count(n.operands.begin(), n.operands.end(), o) != 1)
           continue;
+        if (crossArrayCellSource(o, xc)) continue;
         bool lastUse = usesLeft_[static_cast<size_t>(o)] == 1 &&
                        !isOutput_[static_cast<size_t>(o)];
         if (layout_.isPlaced(o) || lastUse) skipped = o;
@@ -518,11 +621,14 @@ class CodeGenerator {
                        !isOutput_[static_cast<size_t>(b)];
         return layout_.isPlaced(b) || lastUse;
       };
-      // Moved-operand candidate (must be the only occurrence).
+      // Moved-operand candidate (must be the only occurrence). Operands
+      // whose nearest copy is a cell on another array are better served
+      // by ensureInColumn's background XFER than by a chain move.
       for (NodeId o : unique) {
         if (layout_.placementIn(o, xc)) continue;
         if (std::count(n.operands.begin(), n.operands.end(), o) != 1)
           continue;
+        if (crossArrayCellSource(o, xc)) continue;
         if (safeToConsume(o)) {
           chainVal = o;
           chainViaMove = true;
@@ -597,7 +703,22 @@ class CodeGenerator {
     buffer_[static_cast<size_t>(xc.arrayId)][xc.col] = v;
     touch(xc.arrayId, xc.col);
 
-    if (options_.eagerWriteback && needsFlush(v)) flushAt(xc.arrayId, xc.col);
+    if (options_.eagerWriteback && needsFlush(v)) {
+      flushAt(xc.arrayId, xc.col);
+    } else if (needsFlush(v)) {
+      // Lazy flow, but the result has consumers on other arrays: flush it
+      // to a cell now. The posted write completes during the rest of the
+      // wave, and remote consumers then fetch it with a background
+      // cell-to-cell XFER instead of a remote-buffer Move that would
+      // serialize on the shared bus.
+      for (NodeId u : n.users)
+        if (plan_.opLocation[static_cast<size_t>(u)].arrayId !=
+            xc.arrayId) {
+          flushAt(xc.arrayId, xc.col);
+          break;
+        }
+    }
+    if (!options_.eagerWriteback) pushToRemoteConsumers(v, xc);
 
     // Consume operands; dead values release their cells for reuse.
     for (NodeId o : n.operands) {
@@ -638,6 +759,24 @@ class CodeGenerator {
     touched_.insert(arrayId * target_.cols() + col);
   }
 
+  /// Records that `v`'s most recent cell-landing instruction (posted
+  /// write or transfer) is the one just emitted. Consumers use this to
+  /// order each wave's reads oldest-operand-first, giving fresh rows
+  /// the most compute slack before their activating read.
+  void noteLanding(NodeId v) {
+    lastLanding_[static_cast<size_t>(v)] =
+        static_cast<long>(prog_.instructions.size()) - 1;
+  }
+
+  /// Emission index of `op`'s most recently landed operand (-1 when all
+  /// operands have been resident since before tracking).
+  long operandFreshness(NodeId op) const {
+    long f = -1;
+    for (NodeId o : g_.node(op).operands)
+      f = std::max(f, lastLanding_[static_cast<size_t>(o)]);
+    return f;
+  }
+
   const Graph& g_;
   const isa::TargetSpec& target_;
   const PlacementPlan& plan_;
@@ -654,6 +793,11 @@ class CodeGenerator {
   std::set<NodeId> pinned_;
   /// Movement scratch copies of the op being emitted (no-reuse flow).
   std::set<std::pair<NodeId, ColumnRef>> tempCopies_;
+  /// Results with remote consumers, queued for the next wave's
+  /// transfer-push drain (lazy flow only).
+  std::vector<std::pair<NodeId, ColumnRef>> pendingPushes_;
+  /// Per value: emission index of its latest cell-landing instruction.
+  std::vector<long> lastLanding_;
 };
 
 }  // namespace

@@ -49,6 +49,9 @@ struct CompileResult {
   PlacementPlan plan;
   /// Clustering details (optimized strategy only).
   ClusteringResult clustering;
+  /// Cluster-to-array sharding and its schedule estimates (optimized
+  /// strategy only; singleArray=true whenever the kernel fit one array).
+  PartitionResult partition;
 };
 
 inline CompileResult compile(const ir::Graph& g,
@@ -61,6 +64,7 @@ inline CompileResult compile(const ir::Graph& g,
                                 options.faults);
     result.plan = std::move(m.plan);
     result.clustering = std::move(m.clustering);
+    result.partition = std::move(m.partition);
   } else {
     result.plan = mapNaive(g, target, options.faults);
   }
@@ -74,6 +78,7 @@ inline CompileResult compile(const ir::Graph& g,
   if (options.verify.value_or(verify::verifyCompiledByDefault())) {
     verify::VerifyOptions vopts;
     vopts.faultMap = options.faults.map;
+    vopts.spareRows = options.faults.spareRows;
     verify::checkProgram(g, target, result.program, vopts);
   }
   return result;

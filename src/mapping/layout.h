@@ -77,6 +77,14 @@ class Layout {
   /// Spare rows reserved per column (clamped to the array height).
   int spareRows() const { return spareRows_; }
 
+  /// First spare-region row: rows [0, mainRowLimit()) form the main
+  /// region, [mainRowLimit(), rows()) the repair region. The code
+  /// generator consults this before emitting an XFER — the transfer
+  /// engine may not program spare-reserved cells (verifier
+  /// TransferLegality), so a repaired destination falls back to the
+  /// buffered move path.
+  int mainRowLimit() const { return mainRowLimit_; }
+
   /// Free cells remaining in a column.
   int freeCells(ColumnRef where) const;
 

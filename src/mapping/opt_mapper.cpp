@@ -1,6 +1,7 @@
 #include "mapping/opt_mapper.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace sherlock::mapping {
 
@@ -8,30 +9,39 @@ OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
                         const OptMapperOptions& options,
                         const FaultPolicy& faults) {
   const int totalColumns = target.cols() * target.numArrays;
+  const int numArrays = std::max(1, target.numArrays);
 
-  // Columns a cluster may land on, in global order. With faults, columns
-  // too damaged to hold even a minimal cluster are skipped and the
-  // cluster budget is sized to the worst surviving column so any cluster
-  // fits any assigned column.
-  std::vector<int> usableColumns;
+  // Columns a cluster may land on, grouped per array. With faults,
+  // columns too damaged to hold even a minimal cluster are skipped and
+  // the cluster budget is sized to the worst surviving column so any
+  // cluster fits any assigned column. maxColumnsPerArray caps how many
+  // of each array's columns the mapper occupies.
+  std::vector<std::vector<int>> arrayColumns(
+      static_cast<size_t>(numArrays));
   int planningRows = usablePlanningCells(target, faults, 0, 0);
-  if (faults.map) {
-    planningRows = 0;
-    for (int globalCol = 0; globalCol < totalColumns; ++globalCol) {
-      int u = usablePlanningCells(target, faults,
-                                  globalCol / target.cols(),
+  if (faults.map) planningRows = 0;
+  for (int globalCol = 0; globalCol < totalColumns; ++globalCol) {
+    int arrayId = globalCol / target.cols();
+    auto& cols = arrayColumns[static_cast<size_t>(arrayId)];
+    if (options.maxColumnsPerArray > 0 &&
+        static_cast<int>(cols.size()) >= options.maxColumnsPerArray)
+      continue;
+    if (faults.map) {
+      int u = usablePlanningCells(target, faults, arrayId,
                                   globalCol % target.cols());
       if (u < 2) continue;
-      usableColumns.push_back(globalCol);
       planningRows = planningRows == 0 ? u : std::min(planningRows, u);
     }
-    if (usableColumns.empty())
-      throw MappingError(
-          "fault map leaves no usable columns for optimized mapping");
-  } else {
-    for (int globalCol = 0; globalCol < totalColumns; ++globalCol)
-      usableColumns.push_back(globalCol);
+    cols.push_back(globalCol);
   }
+  std::vector<int> budget(static_cast<size_t>(numArrays), 0);
+  for (int a = 0; a < numArrays; ++a)
+    budget[static_cast<size_t>(a)] =
+        static_cast<int>(arrayColumns[static_cast<size_t>(a)].size());
+  long usableTotal = std::accumulate(budget.begin(), budget.end(), 0L);
+  if (usableTotal == 0)
+    throw MappingError(
+        "fault map leaves no usable columns for optimized mapping");
 
   const int capacity = std::max(
       2, static_cast<int>(planningRows * options.capacityFraction));
@@ -42,7 +52,7 @@ OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
   copt.targetClusters = static_cast<int>(
       (g.valueCount() + static_cast<size_t>(capacity) - 1) /
       static_cast<size_t>(capacity));
-  copt.maxClusters = static_cast<int>(usableColumns.size());
+  copt.maxClusters = static_cast<int>(usableTotal);
   copt.alpha = options.alpha;
   copt.beta = options.beta;
   copt.seed = options.seed;
@@ -52,23 +62,32 @@ OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
   out.clustering = findClusters(g, copt);
   const auto& clusters = out.clustering.clusters;
 
+  // Shard the clustered DAG across the mesh (single-array fallback when
+  // one array has room for everything).
+  PartitionOptions popt;
+  popt.arrayColumnBudget = budget;
+  popt.refinePasses = options.refinePasses;
+  out.partition = partitionClusters(g, out.clustering, target, popt);
+
   PlacementPlan& plan = out.plan;
   plan.opLocation.resize(g.numNodes());
   plan.leafColumns.resize(g.numNodes());
   plan.clusterCount = static_cast<int>(clusters.size());
   plan.usedColumns = static_cast<int>(clusters.size());
 
-  auto columnOf = [&](int clusterIdx) {
-    int globalCol = usableColumns[static_cast<size_t>(clusterIdx)];
-    return ColumnRef{globalCol / target.cols(),
-                     globalCol % target.cols()};
-  };
-
+  // Hand each cluster the next free column of its assigned array.
+  std::vector<size_t> cursor(static_cast<size_t>(numArrays), 0);
+  std::vector<ColumnRef> clusterColumn(clusters.size());
   for (size_t ci = 0; ci < clusters.size(); ++ci) {
-    ColumnRef col = columnOf(static_cast<int>(ci));
-    for (ir::NodeId node : clusters[ci].nodes)
-      plan.opLocation[static_cast<size_t>(node)] = col;
+    int arrayId = out.partition.arrayOf[ci];
+    int globalCol = arrayColumns[static_cast<size_t>(
+        arrayId)][cursor[static_cast<size_t>(arrayId)]++];
+    clusterColumn[ci] = ColumnRef{arrayId, globalCol % target.cols()};
   }
+
+  for (size_t ci = 0; ci < clusters.size(); ++ci)
+    for (ir::NodeId node : clusters[ci].nodes)
+      plan.opLocation[static_cast<size_t>(node)] = clusterColumn[ci];
 
   // Pre-load each leaf operand into every consuming cluster's column.
   for (ir::NodeId i = g.firstId(); i < g.endId(); ++i) {
@@ -81,8 +100,19 @@ OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
         cols.push_back(c);
     }
     if (cols.empty() && std::find(g.outputs().begin(), g.outputs().end(),
-                                  i) != g.outputs().end())
-      cols.push_back(columnOf(0));  // unconsumed output leaf
+                                  i) != g.outputs().end()) {
+      // Unconsumed output leaf: park it on the first usable column.
+      if (!clusterColumn.empty()) {
+        cols.push_back(clusterColumn[0]);
+      } else {
+        for (const auto& ac : arrayColumns)
+          if (!ac.empty()) {
+            cols.push_back(
+                ColumnRef{ac[0] / target.cols(), ac[0] % target.cols()});
+            break;
+          }
+      }
+    }
     std::sort(cols.begin(), cols.end());
     plan.leafColumns[static_cast<size_t>(i)] = std::move(cols);
   }

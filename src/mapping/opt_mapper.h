@@ -10,6 +10,7 @@
 #include "isa/target.h"
 #include "mapping/clustering.h"
 #include "mapping/layout.h"
+#include "mapping/partition.h"
 #include "mapping/placement.h"
 
 namespace sherlock::mapping {
@@ -24,11 +25,17 @@ struct OptMapperOptions {
   /// Fraction of a column's rows the clusterer may budget. The remainder
   /// absorbs run-time allocations (movement targets, flushed buffers).
   double capacityFraction = 0.85;
+  /// Columns of each array the mapper may occupy (0 = every column).
+  /// Shrinking the cap forces kernels across arrays — the fuzz harness
+  /// uses it to exercise inter-array codegen on small DAGs.
+  int maxColumnsPerArray = 0;
 };
 
 struct OptMapping {
   PlacementPlan plan;
   ClusteringResult clustering;
+  /// Cluster-to-array assignment and its implied transfers/makespans.
+  PartitionResult partition;
 };
 
 /// Produces the Algorithm 2 placement plan. With a fault policy, clusters

@@ -1,0 +1,254 @@
+#include "mapping/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "arraymodel/array_model.h"
+#include "ir/analysis.h"
+#include "support/diagnostics.h"
+
+namespace sherlock::mapping {
+
+namespace {
+
+// Undirected cluster-affinity weights: operand edges between op nodes of
+// two different clusters, symmetrized (the cut cost of separating the
+// pair does not depend on edge direction).
+std::map<std::pair<int, int>, long> clusterAffinity(
+    const ir::Graph& g, const std::vector<int>& clusterOf) {
+  std::map<std::pair<int, int>, long> w;
+  for (ir::NodeId v = g.firstId(); v < g.endId(); ++v) {
+    const ir::Node& n = g.node(v);
+    if (!n.isOp()) continue;
+    int cv = clusterOf[static_cast<size_t>(v)];
+    for (ir::NodeId user : n.users) {
+      int cu = clusterOf[static_cast<size_t>(user)];
+      if (cu == cv) continue;
+      w[{std::min(cv, cu), std::max(cv, cu)}]++;
+    }
+  }
+  return w;
+}
+
+// Hop-weighted cut cost of placing `cluster` on `array`, given the
+// neighbors already assigned (arrayOf entries < 0 are unplaced).
+long placementCost(int cluster, int array,
+                   const std::map<std::pair<int, int>, long>& affinity,
+                   const std::vector<int>& arrayOf,
+                   const isa::TargetSpec& target) {
+  long cost = 0;
+  for (const auto& [edge, weight] : affinity) {
+    int other = -1;
+    if (edge.first == cluster) other = edge.second;
+    else if (edge.second == cluster) other = edge.first;
+    else continue;
+    int otherArray = arrayOf[static_cast<size_t>(other)];
+    if (otherArray < 0) continue;
+    cost += weight * target.hopsBetween(array, otherArray);
+  }
+  return cost;
+}
+
+// List-schedule makespan estimation (see header). Op latency is one
+// dispatch + one sense; transfer latency is one sense plus the bus hops
+// plus the posted destination write. Leaf operands are host-loaded ahead
+// of time and cost nothing in either model.
+void estimateMakespans(const ir::Graph& g,
+                       const std::vector<int>& clusterOf,
+                       const isa::TargetSpec& target,
+                       PartitionResult& out) {
+  arraymodel::ArrayCostModel cost(target.geometry, target.tech);
+  const double opNs = cost.dispatchLatencyNs() + cost.readLatencyNs();
+  const double senseNs = cost.dispatchLatencyNs() + cost.readLatencyNs();
+  const double writeNs = cost.writeCompletionNs();
+  const double hopNs = target.grid.hopLatencyNs;
+
+  std::vector<double> arrayFree(
+      static_cast<size_t>(std::max(1, target.numArrays)), 0.0);
+  double busFree = 0.0;
+  std::vector<double> finish(g.numNodes(), 0.0);
+  // Arrival time of each deduplicated (value, dstArray) transfer.
+  std::map<std::pair<ir::NodeId, int>, double> landed;
+  double serialized = 0.0;
+  double makespan = 0.0;
+
+  for (ir::NodeId v = g.firstId(); v < g.endId(); ++v) {
+    const ir::Node& n = g.node(v);
+    if (!n.isOp()) continue;
+    int array = out.arrayOf[static_cast<size_t>(clusterOf[v])];
+    double ready = 0.0;
+    for (ir::NodeId q : n.operands) {
+      if (!g.node(q).isOp()) continue;
+      int srcArray = out.arrayOf[static_cast<size_t>(clusterOf[q])];
+      if (srcArray == array) {
+        ready = std::max(ready, finish[static_cast<size_t>(q)]);
+        continue;
+      }
+      auto key = std::make_pair(q, array);
+      auto it = landed.find(key);
+      if (it == landed.end()) {
+        // Schedule the transfer the first time a consumer needs it:
+        // sense on the source array, bus leg, posted landing write.
+        double xferNs = senseNs +
+                        target.hopsBetween(srcArray, array) * hopNs +
+                        writeNs;
+        double start = std::max({finish[static_cast<size_t>(q)], busFree,
+                                 arrayFree[static_cast<size_t>(srcArray)]});
+        busFree = start + xferNs - writeNs;
+        it = landed.emplace(key, start + xferNs).first;
+        serialized += xferNs;
+      }
+      ready = std::max(ready, it->second);
+    }
+    double start =
+        std::max(ready, arrayFree[static_cast<size_t>(array)]);
+    finish[static_cast<size_t>(v)] = start + opNs;
+    arrayFree[static_cast<size_t>(array)] = finish[static_cast<size_t>(v)];
+    makespan = std::max(makespan, finish[static_cast<size_t>(v)]);
+    serialized += opNs;
+  }
+
+  out.overlappedMakespanNs = makespan;
+  out.serializedMakespanNs = serialized;
+}
+
+}  // namespace
+
+PartitionResult partitionClusters(const ir::Graph& g,
+                                  const ClusteringResult& clustering,
+                                  const isa::TargetSpec& target,
+                                  const PartitionOptions& options) {
+  const int nClusters = static_cast<int>(clustering.clusters.size());
+  const int numArrays = std::max(1, target.numArrays);
+
+  std::vector<int> budget = options.arrayColumnBudget;
+  if (budget.empty()) {
+    int cap = target.cols();
+    if (options.maxColumnsPerArray > 0)
+      cap = std::min(cap, options.maxColumnsPerArray);
+    budget.assign(static_cast<size_t>(numArrays), cap);
+  }
+  checkArg(static_cast<int>(budget.size()) == numArrays,
+           "arrayColumnBudget size must equal the target's array count");
+  long total = std::accumulate(budget.begin(), budget.end(), 0L);
+  if (total < nClusters)
+    throw MappingError(
+        strCat("partitioner: ", nClusters, " clusters exceed the ", total,
+               "-column budget across ", numArrays, " arrays"));
+
+  PartitionResult out;
+  out.arrayOf.assign(static_cast<size_t>(nClusters), -1);
+
+  // Single-array fallback: the whole kernel fits the first array with
+  // room, so no transfer is ever needed and mapping degenerates to the
+  // flat single-array plan.
+  for (int a = 0; a < numArrays; ++a) {
+    if (budget[static_cast<size_t>(a)] < nClusters) continue;
+    std::fill(out.arrayOf.begin(), out.arrayOf.end(), a);
+    out.singleArray = true;
+    estimateMakespans(g, clustering.clusterOf, target, out);
+    return out;
+  }
+
+  auto affinity = clusterAffinity(g, clustering.clusterOf);
+
+  // Greedy pass: place clusters in t-level priority order (earliest work
+  // first, so producers are placed before most of their consumers) on
+  // the array minimizing the hop-weighted cut to already-placed
+  // neighbors; ties break toward the lightest-loaded, lowest-id array.
+  std::vector<int> tl = ir::tLevels(g);
+  std::vector<double> priority(static_cast<size_t>(nClusters), 0.0);
+  for (int c = 0; c < nClusters; ++c) {
+    const auto& nodes = clustering.clusters[static_cast<size_t>(c)].nodes;
+    long sum = 0;
+    for (ir::NodeId v : nodes) sum += tl[static_cast<size_t>(v)];
+    priority[static_cast<size_t>(c)] =
+        nodes.empty() ? 0.0
+                      : static_cast<double>(sum) /
+                            static_cast<double>(nodes.size());
+  }
+  std::vector<int> order(static_cast<size_t>(nClusters));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (priority[static_cast<size_t>(a)] != priority[static_cast<size_t>(b)])
+      return priority[static_cast<size_t>(a)] <
+             priority[static_cast<size_t>(b)];
+    return a < b;
+  });
+
+  std::vector<int> load(static_cast<size_t>(numArrays), 0);
+  for (int c : order) {
+    int best = -1;
+    long bestCost = 0;
+    for (int a = 0; a < numArrays; ++a) {
+      if (load[static_cast<size_t>(a)] >= budget[static_cast<size_t>(a)])
+        continue;
+      long cost = placementCost(c, a, affinity, out.arrayOf, target);
+      if (best < 0 || cost < bestCost ||
+          (cost == bestCost &&
+           load[static_cast<size_t>(a)] < load[static_cast<size_t>(best)])) {
+        best = a;
+        bestCost = cost;
+      }
+    }
+    out.arrayOf[static_cast<size_t>(c)] = best;
+    load[static_cast<size_t>(best)]++;
+  }
+
+  // Kernighan-Lin-style sweeps: migrate any cluster whose weighted cut
+  // strictly improves on another array with budget headroom.
+  for (int pass = 0; pass < options.refinePasses; ++pass) {
+    bool moved = false;
+    for (int c = 0; c < nClusters; ++c) {
+      int cur = out.arrayOf[static_cast<size_t>(c)];
+      long curCost = placementCost(c, cur, affinity, out.arrayOf, target);
+      int best = cur;
+      long bestCost = curCost;
+      for (int a = 0; a < numArrays; ++a) {
+        if (a == cur ||
+            load[static_cast<size_t>(a)] >= budget[static_cast<size_t>(a)])
+          continue;
+        long cost = placementCost(c, a, affinity, out.arrayOf, target);
+        if (cost < bestCost) {
+          best = a;
+          bestCost = cost;
+        }
+      }
+      if (best != cur) {
+        out.arrayOf[static_cast<size_t>(c)] = best;
+        load[static_cast<size_t>(cur)]--;
+        load[static_cast<size_t>(best)]++;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  // Derive the cut and its transfers, one per (value, dstArray).
+  std::map<std::pair<ir::NodeId, int>, size_t> seen;
+  for (ir::NodeId v = g.firstId(); v < g.endId(); ++v) {
+    const ir::Node& n = g.node(v);
+    if (!n.isOp()) continue;
+    int cv = clustering.clusterOf[static_cast<size_t>(v)];
+    int srcArray = out.arrayOf[static_cast<size_t>(cv)];
+    for (ir::NodeId user : n.users) {
+      int dstArray = out.arrayOf[static_cast<size_t>(
+          clustering.clusterOf[static_cast<size_t>(user)])];
+      if (dstArray == srcArray) continue;
+      int hops = target.hopsBetween(srcArray, dstArray);
+      out.cutEdges++;
+      out.weightedCutHops += hops;
+      auto key = std::make_pair(v, dstArray);
+      if (seen.emplace(key, out.transfers.size()).second)
+        out.transfers.push_back(
+            Transfer{v, cv, srcArray, dstArray, hops});
+    }
+  }
+
+  estimateMakespans(g, clustering.clusterOf, target, out);
+  return out;
+}
+
+}  // namespace sherlock::mapping

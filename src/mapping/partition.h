@@ -1,0 +1,85 @@
+// Inter-array partitioner: assigns DAG clusters (clustering.h) to arrays
+// of the target mesh, minimizing the hop-weighted cut — the operand edges
+// whose producer and consumer clusters land on different arrays, each of
+// which the code generator must serve with an XFER. The assignment is a
+// min-cut-flavored two-step: a greedy pass places clusters in priority
+// order on the array where their already-placed neighbors live, then
+// Kernighan-Lin-style sweeps migrate clusters whenever that lowers the
+// weighted cut. Cut edges sharing a (value, destination array) pair are
+// served by one transfer (the moved copy is reused), so transfers are
+// deduplicated accordingly.
+//
+// The partitioner also list-schedules the clustered DAG onto the mesh to
+// estimate makespans: `overlapped` lets compute on one array proceed while
+// the bus carries a transfer to another (transfers are posted; only their
+// consumers wait), `serialized` charges every op and transfer end to end.
+// Overlapped never exceeds serialized — bench_multi_array reports both to
+// show what inter-array scheduling buys.
+#pragma once
+
+#include <vector>
+
+#include "ir/graph.h"
+#include "isa/target.h"
+#include "mapping/clustering.h"
+
+namespace sherlock::mapping {
+
+struct PartitionOptions {
+  /// Columns of each array the partitioner may occupy (0 = every
+  /// column). Small caps force multi-array placement on kernels that
+  /// would otherwise fit one array (partially-occupied meshes, fuzzing).
+  int maxColumnsPerArray = 0;
+
+  /// Per-array column budgets overriding the uniform cap (fault-aware
+  /// callers pass usable-column counts). Empty = uniform from target
+  /// geometry and maxColumnsPerArray. Size must equal target.numArrays.
+  std::vector<int> arrayColumnBudget;
+
+  /// Kernighan-Lin-style refinement sweeps over the greedy assignment.
+  int refinePasses = 2;
+};
+
+/// One inter-array movement the schedule performs: `value` (produced by
+/// an op of `producerCluster`) crosses the mesh once into `dstArray`,
+/// where every consumer cluster placed there reads the landed copy.
+struct Transfer {
+  ir::NodeId value = ir::kInvalidNode;
+  int producerCluster = -1;
+  int srcArray = -1;
+  int dstArray = -1;
+  int hops = 1;
+};
+
+struct PartitionResult {
+  /// Array id of each cluster (parallel to clustering.clusters).
+  std::vector<int> arrayOf;
+
+  /// Deduplicated inter-array movements implied by the cut, one per
+  /// (value, dstArray) pair with at least one crossing operand edge.
+  std::vector<Transfer> transfers;
+
+  /// Operand edges crossing array boundaries, and the same weighted by
+  /// hop distance (the objective refinement minimizes).
+  long cutEdges = 0;
+  long weightedCutHops = 0;
+
+  /// True when every cluster fit one array (transfers is empty and
+  /// arrayOf is uniform) — the single-array fallback.
+  bool singleArray = false;
+
+  /// List-schedule makespan estimates (header comment); overlapped
+  /// never exceeds serialized.
+  double overlappedMakespanNs = 0;
+  double serializedMakespanNs = 0;
+};
+
+/// Assigns `clustering`'s clusters to the target's arrays. Requires the
+/// total column budget to cover the cluster count; throws MappingError
+/// otherwise (the clusterer's maxClusters should already enforce this).
+PartitionResult partitionClusters(const ir::Graph& g,
+                                  const ClusteringResult& clustering,
+                                  const isa::TargetSpec& target,
+                                  const PartitionOptions& options = {});
+
+}  // namespace sherlock::mapping

@@ -21,7 +21,8 @@ std::string ProgramAnalysis::toString() const {
   std::ostringstream os;
   os << "instructions: " << instructions << " (reads " << reads << " ["
      << cimReads << " CIM, " << plainReads << " plain], writes " << writes
-     << ", shifts " << shifts << ", moves " << moves << ")\n";
+     << ", shifts " << shifts << ", moves " << moves << ", xfers " << xfers
+     << ")\n";
   os << "activated rows:";
   for (size_t k = 0; k < activatedRowsHistogram.size(); ++k)
     if (activatedRowsHistogram[k])
@@ -77,6 +78,11 @@ ProgramAnalysis analyzeProgram(const Program& program) {
         break;
       case isa::InstKind::Move:
         a.moves++;
+        break;
+      case isa::InstKind::Xfer:
+        a.xfers++;
+        // Transfers land on the destination array's port as well.
+        a.perArray[inst.dstArray]++;
         break;
     }
   }

@@ -20,6 +20,7 @@ struct ProgramAnalysis {
   long writes = 0;
   long shifts = 0;
   long moves = 0;
+  long xfers = 0;
 
   /// histogram[k] = reads activating exactly k rows (k = 0 for pure
   /// row-buffer ops).

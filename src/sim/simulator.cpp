@@ -22,8 +22,6 @@ using isa::Instruction;
 namespace {
 
 constexpr double kBufferOpLatencyNs = 0.5;   // rowless row-buffer logic
-constexpr double kBusLatencyNs = 10.0;       // inter-array transfer
-constexpr double kBusEnergyPerBitPj = 0.5;
 
 /// Functional state of one array: cells + row buffer, W packed 64-bit
 /// lane words per cell position (64 * W bulk slices simulated at once).
@@ -249,6 +247,67 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
   };
 
   double now = 0.0;
+  // Interconnect occupancy. A move occupies the fabric synchronously; an
+  // xfer hands the sensed bit to the transfer engine and the fabric leg
+  // plus destination write complete in the background, so compute on the
+  // issuing array overlaps with the movement.
+  //
+  // Without a configured grid every transfer serializes through one flat
+  // bus (busFreeNs). A configured mesh instead has one directed link per
+  // neighbor pair; transfers follow XY routes and claim each link for one
+  // hop slot, so traffic on disjoint links proceeds in parallel and only
+  // genuinely shared links queue.
+  double busFreeNs = 0.0;
+  std::vector<double> linkFreeNs;
+  if (target.grid.configured())
+    linkFreeNs.assign(static_cast<size_t>(target.grid.cells()) * 4, 0.0);
+  // Per-hop transfer cost; the GridConfig defaults reproduce the
+  // pre-grid flat bus (10 ns / 0.5 pJ-per-bit, one hop per transfer).
+  const double hopLatencyNs = target.grid.hopLatencyNs;
+  const double hopEnergyPj =
+      target.grid.hopEnergyPerBitPj * target.geometry.dataWidthBits;
+  // Routes one buffered bit from srcArray to dstArray, first requested at
+  // readyNs. Returns {injectionNs, arrivalNs} and charges busWait/busBusy.
+  auto routeBit = [&](int srcArray, int dstArray,
+                      double readyNs) -> std::pair<double, double> {
+    const int meshCells = target.grid.cells();
+    if (!target.grid.configured() || srcArray >= meshCells ||
+        dstArray >= meshCells || srcArray < 0 || dstArray < 0) {
+      int hops = target.hopsBetween(srcArray, dstArray);
+      double start = std::max(readyNs, busFreeNs);
+      double end = start + hops * hopLatencyNs;
+      busFreeNs = end;
+      result.busWaitNs += start - readyNs;
+      result.busBusyNs += hops * hopLatencyNs;
+      return {start, end};
+    }
+    if (srcArray == dstArray) return {readyNs, readyNs};
+    // XY route: column direction first, then row direction. Directed
+    // links are keyed (array, direction); the bit holds each link for
+    // one hop slot as it cuts through.
+    const int C = target.grid.cols;
+    int r = srcArray / C, c = srcArray % C;
+    const int r2 = dstArray / C, c2 = dstArray % C;
+    double t = readyNs, start = -1.0;
+    auto claim = [&](int dir) {
+      size_t link = (static_cast<size_t>(r) * C + c) * 4 + dir;
+      double s = std::max(t, linkFreeNs[link]);
+      if (start < 0.0) start = s;
+      result.busWaitNs += s - t;
+      t = s + hopLatencyNs;
+      linkFreeNs[link] = t;
+      result.busBusyNs += hopLatencyNs;
+    };
+    while (c != c2) {
+      claim(c2 > c ? 0 : 1);
+      c += c2 > c ? 1 : -1;
+    }
+    while (r != r2) {
+      claim(r2 > r ? 2 : 3);
+      r += r2 > r ? 1 : -1;
+    }
+    return {start, t};
+  };
   Rng faultRng(options.faultSeed);
   // Monte-Carlo fault injection: toggles each of the 64 * W lanes
   // independently with probability p, via batched geometric gap sampling
@@ -587,19 +646,124 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
 
       case InstKind::Move: {
         result.moveCount++;
-        ArrayState& dst = arrayAt(inst.moveDstArray);
+        ArrayState& dst = arrayAt(inst.dstArray);
         int srcCol = inst.columns[0];
         if (!arr.bufferIsValid(srcCol))
           throw SimulationError(strCat("instruction ", idx,
                                        ": move from invalid buffer column ",
                                        srcCol, " of array ", inst.arrayId));
-        std::copy_n(arr.bufferWords(srcCol), W,
-                    dst.bufferWords(inst.moveDstCol));
-        dst.bufferValid[static_cast<size_t>(inst.moveDstCol) >> 6] |=
-            uint64_t{1} << (inst.moveDstCol & 63);
-        now += kBusLatencyNs;
-        result.energyPj +=
-            kBusEnergyPerBitPj * target.geometry.dataWidthBits;
+        std::copy_n(arr.bufferWords(srcCol), W, dst.bufferWords(inst.dstCol));
+        dst.bufferValid[static_cast<size_t>(inst.dstCol) >> 6] |=
+            uint64_t{1} << (inst.dstCol & 63);
+        // A move is synchronous (the destination buffer bit is consumed
+        // by the very next instructions), so the issuing controller
+        // queues behind any in-flight transfer on the links it needs.
+        int hops = target.hopsBetween(inst.arrayId, inst.dstArray);
+        now = routeBit(inst.arrayId, inst.dstArray, now).second;
+        result.energyPj += hops * hopEnergyPj;
+        break;
+      }
+
+      case InstKind::Xfer: {
+        result.xferCount++;
+        int srcCol = inst.columns[0];
+        int srcRow = inst.rows[0];
+        size_t srcCi = arr.cellIndex(srcRow, srcCol);
+
+        // RAW exposure: the transfer engine senses the source cell, so a
+        // pending posted write to it must complete first.
+        double ready = std::max(now, arr.writeReadyNs[srcCi]);
+        if (ready > now && options.traceStalls)
+          result.stallEvents.push_back(
+              {idx, ready - now,
+               static_cast<long>(idx) - arr.writeIndex[srcCi]});
+        result.stallNs += ready - now;
+        now = ready;
+
+        // Source sense: a single-row plain read by the transfer engine.
+        bool srcStuck = fm && fm->isStuck(srcRow, srcCol);
+        if (srcStuck) {
+          const uint64_t* pinned = fm->stuckReadsOne(srcRow, srcCol)
+                                       ? onesW.data()
+                                       : zerosW.data();
+          std::copy_n(pinned, W, truth.data());
+          result.stuckCellReads++;
+        } else {
+          if (!arr.written(srcCi))
+            throw SimulationError(
+                strCat("instruction ", idx, ": transfer of unwritten cell (",
+                       inst.arrayId, ",", srcRow, ",", srcCol, ")"));
+          std::copy_n(arr.cellWords(srcCi), W, truth.data());
+        }
+        newBits.assign(W, 0);
+        uint64_t* value = newBits.data();
+        std::copy_n(truth.data(), W, value);
+        double pdf = pdfOf(device::SenseKind::PlainRead, 1);
+        double effPdf =
+            inflatePdf(pdf, (fm && fm->isWeak(srcRow, srcCol)) ? 1 : 0);
+        failures.add(effPdf);
+        int senses = 1;
+        if (!srcStuck) {
+          inject(value, effPdf);
+          if (options.guardedExecution && effPdf > options.guardPdfThreshold) {
+            // Same check-read guard as a plain read: re-sense until the
+            // value/check pair agrees or the budget runs out (MRA is
+            // already 1, so the last sample stands after exhaustion).
+            result.guardedOps++;
+            std::copy_n(truth.data(), W, check.data());
+            inject(check.data(), effPdf);
+            senses = 2;
+            int tries = 0;
+            while (!std::equal(value, value + W, check.data()) &&
+                   tries < options.retryBudget) {
+              ++tries;
+              result.retriedOps++;
+              std::copy_n(truth.data(), W, value);
+              inject(value, effPdf);
+              std::copy_n(truth.data(), W, check.data());
+              inject(check.data(), effPdf);
+              senses += 2;
+            }
+          }
+        }
+        now += senses * cost.readLatencyNs();
+        result.energyPj += senses * cost.readEnergyPj(1, 1);
+
+        // Fabric leg: the engine queues for the links on its XY route and
+        // carries the bit hop by hop. The issuing controller does NOT
+        // wait — compute overlaps with the movement; only a later
+        // consumer of the destination cell (or a transfer sharing a
+        // link) can stall on it.
+        int hops = target.hopsBetween(inst.arrayId, inst.dstArray);
+        double busEnd = routeBit(inst.arrayId, inst.dstArray, now).second;
+        result.energyPj += hops * hopEnergyPj;
+
+        // Destination write: posted, completing after the bus delivers.
+        ArrayState& dst = arrayAt(inst.dstArray);
+        if (mutableMap) {
+          long count = mutableMap->noteRowWrite(inst.dstArray, inst.dstRow);
+          if (count == mutableMap->options().rowWriteBudget + 1) {
+            result.wornRows++;
+            auto& slot = faultMasks[static_cast<size_t>(inst.dstArray)];
+            if (slot) slot->refreshRow(*fmap, inst.dstArray, inst.dstRow);
+          }
+        }
+        size_t dstCi = dst.cellIndex(inst.dstRow, inst.dstCol);
+        std::copy_n(value, W, dst.cellWords(dstCi));
+        if (fmap) {
+          const FaultMasks& dfm = masksAt(inst.dstArray);
+          if (dfm.isStuck(inst.dstRow, inst.dstCol)) {
+            const uint64_t* pinned = dfm.stuckReadsOne(inst.dstRow,
+                                                       inst.dstCol)
+                                         ? onesW.data()
+                                         : zerosW.data();
+            std::copy_n(pinned, W, dst.cellWords(dstCi));
+          }
+        }
+        dst.markWritten(dstCi);
+        dst.writeReadyNs[dstCi] = busEnd + cost.writeCompletionNs();
+        dst.writeIndex[dstCi] = static_cast<long>(idx);
+        result.energyPj += cost.writeEnergyPj(1);
         break;
       }
     }

@@ -125,6 +125,14 @@ struct SimResult {
   long writeCount = 0;
   long shiftCount = 0;
   long moveCount = 0;
+  long xferCount = 0;
+
+  /// Inter-array bus occupancy accounting. busBusyNs is the total time
+  /// the shared bus spent carrying bits (hop latency x hops, summed over
+  /// every move/xfer); busWaitNs is the time transfers spent queued
+  /// behind earlier traffic before the bus freed up.
+  double busBusyNs = 0;
+  double busWaitNs = 0;
 
   /// Outcome of the output comparison (options.verify): true iff every
   /// output lane matched the reference evaluator. Under injectFaults or a

@@ -29,6 +29,7 @@ const char* ruleName(Rule rule) {
     case Rule::HostWriteMetadata: return "host-write-metadata";
     case Rule::OutputPlacement: return "output-placement";
     case Rule::FaultAvoidance: return "fault-avoidance";
+    case Rule::TransferLegality: return "transfer-legality";
     case Rule::ValueEquivalence: return "value-equivalence";
   }
   return "unknown";
@@ -270,6 +271,7 @@ class Verifier {
       case InstKind::Write: interpretWrite(idx, inst, arr); break;
       case InstKind::Shift: interpretShift(idx, inst, arr); break;
       case InstKind::Move: interpretMove(idx, inst, arr); break;
+      case InstKind::Xfer: interpretXfer(idx, inst, arr); break;
     }
   }
 
@@ -279,6 +281,31 @@ class Verifier {
   void checkFaultAvoidance(size_t idx, const Instruction& inst) {
     const device::FaultMap* fm = options_.faultMap;
     if (!fm) return;
+    if (inst.kind == InstKind::Xfer) {
+      // Both endpoint cells must be fault-free: the source is sensed,
+      // the destination programmed, and neither goes through the guarded
+      // row-buffer path that could absorb a pinned bit.
+      if (fm->isStuck(inst.arrayId, inst.rows[0], inst.columns[0]))
+        report(Rule::FaultAvoidance, idx, inst.arrayId, inst.rows[0],
+               inst.columns[0],
+               strCat("transfer senses stuck-at-",
+                      fm->stuckBit(inst.arrayId, inst.rows[0],
+                                   inst.columns[0])
+                          ? "HRS"
+                          : "LRS",
+                      " source cell (array ", inst.arrayId, ", row ",
+                      inst.rows[0], ", col ", inst.columns[0], ")"));
+      if (fm->isStuck(inst.dstArray, inst.dstRow, inst.dstCol))
+        report(Rule::FaultAvoidance, idx, inst.dstArray, inst.dstRow,
+               inst.dstCol,
+               strCat("transfer targets stuck-at-",
+                      fm->stuckBit(inst.dstArray, inst.dstRow, inst.dstCol)
+                          ? "HRS"
+                          : "LRS",
+                      " destination cell (array ", inst.dstArray, ", row ",
+                      inst.dstRow, ", col ", inst.dstCol, ")"));
+      return;
+    }
     if (inst.kind != InstKind::Read && inst.kind != InstKind::Write) return;
     for (int c : inst.columns) {
       for (int r : inst.rows) {
@@ -394,8 +421,32 @@ class Verifier {
                     " (no prior read produced it)"));
       vn = values_.opaque();
     }
-    arrayAt(inst.moveDstArray)
-        .buffer[static_cast<size_t>(inst.moveDstCol)] = vn;
+    arrayAt(inst.dstArray).buffer[static_cast<size_t>(inst.dstCol)] = vn;
+  }
+
+  /// Xfer: cell-to-cell across arrays. The symbolic value number crosses
+  /// the array boundary with the bit, which is what lets the
+  /// ValueEquivalence proof follow outputs through arbitrary transfer
+  /// chains. Row buffers are untouched on both sides.
+  void interpretXfer(size_t idx, const Instruction& inst, ArraySym& arr) {
+    if (options_.spareRows > 0 &&
+        inst.dstRow >= target_.rows() - options_.spareRows) {
+      report(Rule::TransferLegality, idx, inst.dstArray, inst.dstRow,
+             inst.dstCol,
+             strCat("transfer into spare-reserved row ", inst.dstRow,
+                    " of array ", inst.dstArray, " (repair region is rows [",
+                    target_.rows() - options_.spareRows, ", ",
+                    target_.rows(), "))"));
+    }
+    int srcRow = inst.rows[0], srcCol = inst.columns[0];
+    int vn = arr.cells[cellIndex(srcRow, srcCol)];
+    if (vn < 0) {
+      report(Rule::ReadBeforeWrite, idx, inst.arrayId, srcRow, srcCol,
+             strCat("transfer of unwritten cell (array ", inst.arrayId,
+                    ", row ", srcRow, ", col ", srcCol, ")"));
+      vn = values_.opaque();
+    }
+    arrayAt(inst.dstArray).cells[cellIndex(inst.dstRow, inst.dstCol)] = vn;
   }
 
   // -------------------------------------------------------- output checks
@@ -521,12 +572,62 @@ std::optional<Violation> checkInstructionRules(const Instruction& inst,
     if (inst.columns[0] < 0 || inst.columns[0] >= cols)
       return bounds(strCat("move source column ", inst.columns[0],
                            " outside [0, ", cols, ")"));
-    if (inst.moveDstArray < 0 || inst.moveDstArray >= target.numArrays)
-      return bounds(strCat("move destination array ", inst.moveDstArray,
+    if (inst.dstArray < 0 || inst.dstArray >= target.numArrays)
+      return bounds(strCat("move destination array ", inst.dstArray,
                            " outside [0, ", target.numArrays, ")"));
-    if (inst.moveDstCol < 0 || inst.moveDstCol >= cols)
-      return bounds(strCat("move destination column ", inst.moveDstCol,
+    if (inst.dstCol < 0 || inst.dstCol >= cols)
+      return bounds(strCat("move destination column ", inst.dstCol,
                            " outside [0, ", cols, ")"));
+    return std::nullopt;
+  }
+
+  if (inst.kind == InstKind::Xfer) {
+    if (inst.columns.size() != 1)
+      return shape(strCat("xfer takes one source column, got ",
+                          inst.columns.size()));
+    if (inst.rows.size() != 1)
+      return shape(strCat("xfer takes one source row, got ",
+                          inst.rows.size()));
+    if (!inst.colOps.empty()) return shape("xfer carries column ops");
+    if (inst.columns[0] < 0 || inst.columns[0] >= cols)
+      return bounds(strCat("xfer source column ", inst.columns[0],
+                           " outside [0, ", cols, ")"));
+    if (inst.rows[0] < 0 || inst.rows[0] >= rows)
+      return bounds(strCat("xfer source row ", inst.rows[0], " outside [0, ",
+                           rows, ")"));
+    if (inst.dstArray < 0 || inst.dstArray >= target.numArrays)
+      return bounds(strCat("xfer destination array ", inst.dstArray,
+                           " outside [0, ", target.numArrays, ")"));
+    if (inst.dstCol < 0 || inst.dstCol >= cols)
+      return bounds(strCat("xfer destination column ", inst.dstCol,
+                           " outside [0, ", cols, ")"));
+    if (inst.dstRow < 0 || inst.dstRow >= rows)
+      return bounds(strCat("xfer destination row ", inst.dstRow,
+                           " outside [0, ", rows, ")"));
+    if (inst.dstArray == inst.arrayId) {
+      Violation v = makeRuleViolation(
+          Rule::TransferLegality, index, inst,
+          strCat("transfer within array ", inst.arrayId,
+                 "; same-array movement is shift/write territory"));
+      v.col = inst.dstCol;
+      v.row = inst.dstRow;
+      return v;
+    }
+    if (target.grid.configured()) {
+      int mesh = target.grid.cells();
+      int outside = inst.arrayId >= mesh  ? inst.arrayId
+                    : inst.dstArray >= mesh ? inst.dstArray
+                                            : -1;
+      if (outside >= 0) {
+        Violation v = makeRuleViolation(
+            Rule::TransferLegality, index, inst,
+            strCat("transfer touches array ", outside, " outside the ",
+                   target.grid.toString(), " mesh (arrays [0, ", mesh,
+                   ") are bus-reachable)"));
+        v.arrayId = outside;
+        return v;
+      }
+    }
     return std::nullopt;
   }
 

@@ -34,9 +34,16 @@
 //                        per written column.
 //  * OutputPlacement   — every graph output has a recorded, in-bounds,
 //                        written cell.
-//  * FaultAvoidance    — with a fault map, no read senses and no write
-//                        targets a stuck-at cell (fault-aware placement
-//                        must have routed around every persistent defect).
+//  * FaultAvoidance    — with a fault map, no read senses, no write
+//                        targets and no transfer endpoint touches a
+//                        stuck-at cell (fault-aware placement must have
+//                        routed around every persistent defect).
+//  * TransferLegality  — an XFER crosses arrays (same-array transfers
+//                        are shift/write territory), both endpoints sit
+//                        inside the configured mesh (out-of-grid arrays
+//                        are bus-unreachable), and the destination row is
+//                        not in the spare-reserved repair region (see
+//                        VerifyOptions::spareRows).
 //  * ValueEquivalence  — symbolic execution assigns every cell/buffer bit
 //                        a hash-consed value number; each output cell's
 //                        number must equal the number of its DAG node.
@@ -70,6 +77,7 @@ enum class Rule {
   HostWriteMetadata,
   OutputPlacement,
   FaultAvoidance,
+  TransferLegality,
   ValueEquivalence,
 };
 
@@ -104,6 +112,12 @@ struct VerifyOptions {
   /// With a fault map, enforce FaultAvoidance: the program must not sense
   /// or program any stuck-at cell. Dimensions must match the target.
   const device::FaultMap* faultMap = nullptr;
+  /// Rows reserved per column for spare-row repair (mapping::FaultPolicy).
+  /// When positive, TransferLegality rejects any XFER whose destination
+  /// row lands in the reserved region [rows - spareRows, rows): the
+  /// transfer engine programs cells directly, bypassing the repair
+  /// remapping that regular writes go through.
+  int spareRows = 0;
 };
 
 struct VerifyResult {

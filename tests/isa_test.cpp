@@ -34,6 +34,18 @@ TEST(Instruction, MoveFormat) {
   EXPECT_EQ(makeMove(0, 3, 2, 9).toString(), "move [0][3] -> [2][9]");
 }
 
+TEST(Instruction, XferFormat) {
+  EXPECT_EQ(makeXfer(1, 4, 17, 3, 6, 30).toString(),
+            "xfer [1][4][17] -> [3][6][30]");
+}
+
+TEST(Instruction, XferParseRoundTrip) {
+  Instruction inst = makeXfer(0, 12, 5, 2, 7, 41);
+  EXPECT_EQ(Instruction::parse(inst.toString()), inst);
+  EXPECT_THROW(Instruction::parse("xfer [0][1,2][3] -> [1][4][5]"), Error);
+  EXPECT_THROW(Instruction::parse("xfer [0][1][3,4] -> [1][4][5]"), Error);
+}
+
 TEST(Instruction, ParseRoundTripAllKinds) {
   std::vector<Instruction> program{
       makeWrite(0, {4, 8}, 932),
@@ -42,6 +54,7 @@ TEST(Instruction, ParseRoundTripAllKinds) {
                   {true, false}),
       makeShift(1, ShiftDirection::Left, 17),
       makeMove(0, 3, 2, 9),
+      makeXfer(0, 3, 8, 2, 9, 12),
   };
   auto parsed = parseAssembly(toAssembly(program));
   EXPECT_EQ(parsed, program);
@@ -72,6 +85,29 @@ TEST(Validation, BoundsChecked) {
       validateInstruction(makeWrite(0, {0}, 16), arrays, rows, cols), Error);
 }
 
+TEST(Validation, XferBoundsChecked) {
+  int arrays = 4, rows = 16, cols = 16;
+  EXPECT_NO_THROW(
+      validateInstruction(makeXfer(0, 0, 0, 3, 15, 15), arrays, rows, cols));
+  // Each endpoint coordinate is checked: destination array, column, row,
+  // then the source side.
+  EXPECT_THROW(
+      validateInstruction(makeXfer(0, 0, 0, 4, 0, 0), arrays, rows, cols),
+      Error);
+  EXPECT_THROW(
+      validateInstruction(makeXfer(0, 0, 0, 1, 16, 0), arrays, rows, cols),
+      Error);
+  EXPECT_THROW(
+      validateInstruction(makeXfer(0, 0, 0, 1, 0, 16), arrays, rows, cols),
+      Error);
+  EXPECT_THROW(
+      validateInstruction(makeXfer(0, 16, 0, 1, 0, 0), arrays, rows, cols),
+      Error);
+  EXPECT_THROW(
+      validateInstruction(makeXfer(0, 0, 16, 1, 0, 0), arrays, rows, cols),
+      Error);
+}
+
 TEST(Validation, OrderingAndUniqueness) {
   int arrays = 1, rows = 16, cols = 16;
   Instruction bad = makeWrite(0, {5, 3}, 0);  // descending columns
@@ -90,6 +126,33 @@ TEST(Validation, RowlessReadRequiresFullChaining) {
   EXPECT_NO_THROW(validateInstruction(ok, 1, 16, 16));
   Instruction bad = makeCimRead(0, {1}, {}, {ir::OpKind::Not}, {false});
   EXPECT_THROW(validateInstruction(bad, 1, 16, 16), Error);
+}
+
+TEST(Target, GridHopsAreManhattanDistance) {
+  auto t = TargetSpec::square(64, device::TechnologyParams::reRam())
+               .withGrid(arraymodel::GridConfig{2, 3});
+  EXPECT_EQ(t.numArrays, 6);
+  EXPECT_EQ(t.hopsBetween(0, 0), 0);
+  EXPECT_EQ(t.hopsBetween(0, 1), 1);   // (0,0) -> (0,1)
+  EXPECT_EQ(t.hopsBetween(0, 5), 3);   // (0,0) -> (1,2)
+  EXPECT_EQ(t.hopsBetween(5, 0), 3);   // symmetric
+  // Unconfigured targets keep the historical flat-bus cost: one hop
+  // between distinct arrays, zero within one.
+  auto flat = TargetSpec::square(64, device::TechnologyParams::reRam());
+  EXPECT_EQ(flat.hopsBetween(0, 0), 0);
+  EXPECT_EQ(flat.hopsBetween(0, 1), 1);
+}
+
+TEST(Target, GridConfigParse) {
+  auto g = arraymodel::GridConfig::parse("2x3");
+  EXPECT_EQ(g.rows, 2);
+  EXPECT_EQ(g.cols, 3);
+  EXPECT_EQ(g.toString(), "2x3");
+  EXPECT_THROW(arraymodel::GridConfig::parse("22"), Error);
+  EXPECT_THROW(arraymodel::GridConfig::parse("x3"), Error);
+  EXPECT_THROW(arraymodel::GridConfig::parse("2x"), Error);
+  EXPECT_THROW(arraymodel::GridConfig::parse("0x4"), Error);
+  EXPECT_ANY_THROW(arraymodel::GridConfig::parse("axb"));
 }
 
 TEST(Target, MraLimitCappedByTechnology) {
