@@ -11,9 +11,11 @@
 // All 48 configurations are compiled and simulated concurrently through
 // the sweep harness; the job list is built in table order, so the output
 // is identical for any SHERLOCK_THREADS value.
+#include <fstream>
 #include <iostream>
 #include <map>
 
+#include "bench/json.h"
 #include "bench/sweep.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -34,7 +36,12 @@ struct Key {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) jsonPath = argv[++i];
+  }
   // Enumerate every configuration once, in deterministic order.
   std::vector<SweepJob> jobs;
   std::vector<Key> keys;
@@ -120,5 +127,39 @@ int main() {
                   Table::num(geomeanSafe(gains[3]), 2),
                   Table::num(geomeanSafe(gains[4]), 2)});
   summary.print(std::cout);
+
+  if (!jsonPath.empty()) {
+    // One config per table cell; the analytic latency/energy values are
+    // deterministic, so compare_bench.py gates them against the
+    // checked-in BENCH_table2.json baseline.
+    Json configs = Json::array();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const Key& k = keys[i];
+      const RunResult& r = results.at(k);
+      Json c = Json::object();
+      c.set("workload", k.workload)
+          .set("tech", technologyName(k.tech))
+          .set("array_dim", k.dim)
+          .set("strategy",
+               k.strategy == mapping::Strategy::Naive ? "naive" : "opt")
+          .set("mra", k.mra)
+          .set("latency_ns", r.sim.latencyNs)
+          .set("energy_pj", r.sim.energyPj);
+      configs.push(std::move(c));
+    }
+    Json root = Json::object();
+    root.set("pr", 8)
+        .set("title", "Table 2 reproduction")
+        .set("benchmark",
+             "bench_table2: latency/energy across technologies, sizes, "
+             "mappings, MRA")
+        .set("metric",
+             "analytic latency_ns and energy_pj per (workload, tech, "
+             "array_dim, strategy, mra) config (deterministic)")
+        .set("configs", std::move(configs));
+    std::ofstream out(jsonPath);
+    out << root.dump();
+    std::cout << "\nWrote JSON to " << jsonPath << "\n";
+  }
   return 0;
 }

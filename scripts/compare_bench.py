@@ -1,15 +1,27 @@
 #!/usr/bin/env python3
-"""Latency regression gate between two bench JSON artifacts.
+"""Regression gate between two bench JSON artifacts.
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.05]
 
 Both artifacts may carry a "configs" array whose entries describe one
 benchmark point each; entries are matched on (workload, grid, tech,
-array_dim) and compared on latency_ns. The gate fails (exit 1) when the
-geometric-mean latency over the shared configs regresses by more than
-the threshold. Artifacts without comparable configs (older PRs report
+array_dim, strategy, mra, cache_size) and gated two ways:
+
+  * latency_ns — geometric-mean regression over the shared configs must
+    stay within --threshold (wall-clock-free analytic/simulated
+    latencies only; benches report machine-dependent wall-clock under
+    other names precisely so it is never gated here).
+  * hit_rate — deterministic cache-replay hit rates must match the
+    baseline exactly (within 1e-9): any drift means the cache keying or
+    eviction behavior changed, which is a correctness signal, not noise.
+
+Artifacts where one side has no gateable configs (older PRs report
 different metrics, e.g. BENCH_6.json's Monte-Carlo wall-clock) pass
-with a note: there is nothing to compare, not a regression.
+with a note: there is nothing to compare, not a regression. But when
+BOTH sides carry gateable configs and they share none, the gate fails
+loudly — that is a config-key mismatch (renamed workload, changed key
+schema), and silently passing would disable the gate without anyone
+noticing.
 """
 
 import argparse
@@ -24,16 +36,74 @@ def config_key(c):
         c.get("grid"),
         c.get("tech"),
         c.get("array_dim"),
+        c.get("strategy"),
+        c.get("mra"),
+        c.get("cache_size"),
     )
 
 
-def latency_configs(doc):
+def metric_configs(doc, metric, positive=True):
     out = {}
     for c in doc.get("configs", []):
-        lat = c.get("latency_ns")
-        if isinstance(lat, (int, float)) and lat > 0:
-            out[config_key(c)] = float(lat)
+        val = c.get(metric)
+        if isinstance(val, (int, float)) and not isinstance(val, bool):
+            if positive and val <= 0:
+                continue
+            out[config_key(c)] = float(val)
     return out
+
+
+def key_name(key):
+    return "/".join(str(k) for k in key if k is not None)
+
+
+def gate_latency(base, cur, threshold):
+    """Geomean latency_ns regression gate. Returns (failed, gateable)."""
+    base_lat = metric_configs(base, "latency_ns")
+    cur_lat = metric_configs(cur, "latency_ns")
+    shared = sorted(set(base_lat) & set(cur_lat))
+    if not shared:
+        return False, (len(base_lat), len(cur_lat))
+
+    log_sum = 0.0
+    print(f"{'config':<52} {'base us':>10} {'cur us':>10} {'ratio':>7}")
+    for key in shared:
+        ratio = cur_lat[key] / base_lat[key]
+        log_sum += math.log(ratio)
+        print(f"{key_name(key):<52} {base_lat[key] / 1e3:>10.2f} "
+              f"{cur_lat[key] / 1e3:>10.2f} {ratio:>7.3f}")
+    geomean = math.exp(log_sum / len(shared))
+    print(f"geomean latency ratio over {len(shared)} shared configs: "
+          f"{geomean:.4f} (threshold {1 + threshold:.2f})")
+    if geomean > 1 + threshold:
+        print("compare_bench: FAIL — latency regressed beyond threshold")
+        return True, (len(base_lat), len(cur_lat))
+    return False, (len(base_lat), len(cur_lat))
+
+
+def gate_hit_rate(base, cur):
+    """Exact-match gate on deterministic hit rates."""
+    base_hr = metric_configs(base, "hit_rate", positive=False)
+    cur_hr = metric_configs(cur, "hit_rate", positive=False)
+    shared = sorted(set(base_hr) & set(cur_hr))
+    if not shared:
+        return False, (len(base_hr), len(cur_hr))
+
+    failed = False
+    print(f"{'config':<52} {'base hit':>9} {'cur hit':>9}")
+    for key in shared:
+        drift = abs(cur_hr[key] - base_hr[key])
+        mark = "" if drift <= 1e-9 else "  <-- DRIFT"
+        print(f"{key_name(key):<52} {base_hr[key]:>9.4f} "
+              f"{cur_hr[key]:>9.4f}{mark}")
+        if drift > 1e-9:
+            failed = True
+    if failed:
+        print("compare_bench: FAIL — deterministic hit_rate drifted from "
+              "baseline (cache keying/eviction behavior changed)")
+    else:
+        print(f"hit_rate exact over {len(shared)} shared configs")
+    return failed, (len(base_hr), len(cur_hr))
 
 
 def main():
@@ -49,29 +119,34 @@ def main():
     with open(args.current) as f:
         cur = json.load(f)
 
-    base_lat = latency_configs(base)
-    cur_lat = latency_configs(cur)
-    shared = sorted(set(base_lat) & set(cur_lat))
-    if not shared:
-        print(f"compare_bench: no shared latency configs between "
-              f"{args.baseline} ({len(base_lat)} configs) and "
-              f"{args.current} ({len(cur_lat)} configs); nothing to gate")
-        return 0
-
-    log_sum = 0.0
-    print(f"{'config':<40} {'base us':>10} {'cur us':>10} {'ratio':>7}")
-    for key in shared:
-        ratio = cur_lat[key] / base_lat[key]
-        log_sum += math.log(ratio)
-        name = "/".join(str(k) for k in key)
-        print(f"{name:<40} {base_lat[key] / 1e3:>10.2f} "
-              f"{cur_lat[key] / 1e3:>10.2f} {ratio:>7.3f}")
-    geomean = math.exp(log_sum / len(shared))
-    print(f"geomean latency ratio over {len(shared)} shared configs: "
-          f"{geomean:.4f} (threshold {1 + args.threshold:.2f})")
-    if geomean > 1 + args.threshold:
-        print("compare_bench: FAIL — latency regressed beyond threshold")
+    lat_failed, (lat_base, lat_cur) = gate_latency(base, cur,
+                                                   args.threshold)
+    hr_failed, (hr_base, hr_cur) = gate_hit_rate(base, cur)
+    if lat_failed or hr_failed:
         return 1
+
+    # Loud failure on a key-schema mismatch: both sides carry gateable
+    # configs for a metric, yet none matched.
+    compared = False
+    for metric, n_base, n_cur in (("latency_ns", lat_base, lat_cur),
+                                  ("hit_rate", hr_base, hr_cur)):
+        if n_base == 0 or n_cur == 0:
+            continue
+        base_keys = set(metric_configs(base, metric, positive=False))
+        cur_keys = set(metric_configs(cur, metric, positive=False))
+        if not base_keys & cur_keys:
+            print(f"compare_bench: FAIL — {args.baseline} and "
+                  f"{args.current} both carry {metric} configs "
+                  f"({n_base} vs {n_cur}) but share NONE; the config key "
+                  f"schema or workload names diverged and the gate would "
+                  f"be silently disabled")
+            return 1
+        compared = True
+
+    if not compared:
+        print(f"compare_bench: no shared gateable configs between "
+              f"{args.baseline} and {args.current}; nothing to gate")
+        return 0
     print("compare_bench: OK")
     return 0
 

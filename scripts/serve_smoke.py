@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compile-service smoke test for CI.
+
+Replays every example kernel through `sherlockc --serve` twice in one
+session and asserts the cache actually worked:
+
+  * every response is ok,
+  * the second pass is served from cache (hit=1 on each response, and
+    the final STATS hit rate is nonzero),
+  * each cached (second-pass) payload is byte-identical to its cold
+    (first-pass) compile — the service's core contract.
+
+Usage: serve_smoke.py [--sherlockc build/tools/sherlockc]
+                      [--kernels examples/kernels] [--target 256]
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def build_script(kernels, target):
+    parts = []
+    for rep in (1, 2):
+        for name, source in kernels:
+            parts.append(f"REQ pass{rep}-{name} lang=kernel target={target}")
+            parts.append(source.rstrip("\n"))
+            parts.append("END")
+        parts.append("FLUSH")
+    parts.append("STATS")
+    parts.append("QUIT")
+    return "\n".join(parts) + "\n"
+
+
+def parse_responses(raw):
+    """Splits the byte stream into framed (header, payload) records."""
+    records = []
+    pos = 0
+    while pos < len(raw):
+        nl = raw.find(b"\n", pos)
+        if nl < 0:
+            break
+        header = raw[pos:nl].decode()
+        pos = nl + 1
+        if header.startswith("PROTOCOL-ERROR"):
+            records.append((header, b""))
+            continue
+        fields = dict(f.split("=", 1) for f in header.split()
+                      if "=" in f)
+        nbytes = int(fields.get("bytes", "0"))
+        records.append((header, raw[pos:pos + nbytes]))
+        pos += nbytes
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sherlockc", default="build/tools/sherlockc")
+    ap.add_argument("--kernels", default="examples/kernels")
+    ap.add_argument("--target", type=int, default=256)
+    args = ap.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.kernels, "*.sk")))
+    if not paths:
+        print(f"serve_smoke: no kernels under {args.kernels}")
+        return 1
+    kernels = [(os.path.splitext(os.path.basename(p))[0],
+                open(p).read()) for p in paths]
+
+    script = build_script(kernels, args.target)
+    proc = subprocess.run([args.sherlockc, "--serve"],
+                          input=script.encode(),
+                          capture_output=True, timeout=600)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr.decode())
+        print(f"serve_smoke: sherlockc --serve exited {proc.returncode}")
+        return 1
+
+    records = parse_responses(proc.stdout)
+    resp = {}
+    stats = None
+    failed = False
+    for header, payload in records:
+        if header.startswith("STATS-RESP"):
+            stats = json.loads(payload.decode())
+            continue
+        if not header.startswith("RESP"):
+            print(f"serve_smoke: unexpected line: {header}")
+            failed = True
+            continue
+        tokens = header.split()
+        rid, status = tokens[1], tokens[2]
+        if status != "ok":
+            print(f"serve_smoke: {rid} failed: "
+                  f"{payload.decode(errors='replace')[:200]}")
+            failed = True
+            continue
+        fields = dict(f.split("=", 1) for f in tokens if "=" in f)
+        resp[rid] = (payload, fields)
+
+    for name, _ in kernels:
+        cold = resp.get(f"pass1-{name}")
+        cached = resp.get(f"pass2-{name}")
+        if cold is None or cached is None:
+            print(f"serve_smoke: missing response for {name}")
+            failed = True
+            continue
+        if cached[1].get("hit") != "1":
+            print(f"serve_smoke: second pass of {name} was not a cache "
+                  f"hit ({cached[1]})")
+            failed = True
+        if cold[0] != cached[0]:
+            print(f"serve_smoke: cached payload for {name} differs from "
+                  f"cold compile ({len(cold[0])} vs {len(cached[0])} "
+                  f"bytes)")
+            failed = True
+
+    if stats is None:
+        print("serve_smoke: no STATS response")
+        return 1
+    if not stats.get("hit_rate", 0) > 0:
+        print(f"serve_smoke: hit rate is zero: {stats}")
+        failed = True
+    if failed:
+        return 1
+    print(f"serve_smoke: OK — {len(kernels)} kernels x2 passes, "
+          f"hit_rate {stats['hit_rate']:.3f}, "
+          f"{stats['direct_hits']} direct hits, byte-identical "
+          f"cached vs cold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+#include "serve/protocol.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/parallel.h"
+
+namespace sherlock::serve {
+
+namespace {
+
+/// One queued request: either ready to compile or already failed at
+/// option parsing (error carries the diagnostic).
+struct PendingRequest {
+  std::string id;
+  RequestOptions options;
+  std::string source;
+  std::string error;
+};
+
+long parseLong(const std::string& key, const std::string& value) {
+  try {
+    size_t pos = 0;
+    long parsed = std::stol(value, &pos);
+    if (pos == value.size()) return parsed;
+  } catch (const std::exception&) {
+  }
+  throw Error(strCat("option ", key, " expects an integer, got '", value,
+                     "'"));
+}
+
+double parseDouble(const std::string& key, const std::string& value) {
+  try {
+    size_t pos = 0;
+    double parsed = std::stod(value, &pos);
+    if (pos == value.size()) return parsed;
+  } catch (const std::exception&) {
+  }
+  throw Error(strCat("option ", key, " expects a number, got '", value,
+                     "'"));
+}
+
+/// Applies one key=value pair onto the request options. Throws Error on
+/// unknown keys or malformed values so a typo'd request fails loudly
+/// instead of silently compiling with defaults.
+void applyOption(RequestOptions& o, const std::string& key,
+                 const std::string& value) {
+  if (key == "lang") o.lang = value;
+  else if (key == "emit") o.emit = value;
+  else if (key == "target") o.targetDim = static_cast<int>(parseLong(key, value));
+  else if (key == "tech") o.tech = value;
+  else if (key == "strategy") o.strategy = value;
+  else if (key == "mra") o.mra = static_cast<int>(parseLong(key, value));
+  else if (key == "fraction") o.fraction = parseDouble(key, value);
+  else if (key == "grid") o.grid = value;
+  else if (key == "hop-cost") o.hopCost = parseDouble(key, value);
+  else if (key == "fault-density") o.faultDensity = parseDouble(key, value);
+  else if (key == "fault-seed")
+    o.faultSeed = static_cast<uint64_t>(parseLong(key, value));
+  else if (key == "spare-rows")
+    o.spareRows = static_cast<int>(parseLong(key, value));
+  else if (key == "nand") o.nandLower = parseLong(key, value) != 0;
+  else if (key == "opt") o.aggressive = parseLong(key, value) != 0;
+  else throw Error(strCat("unknown option '", key, "'"));
+}
+
+void writeResponse(std::ostream& out, const std::string& id,
+                   const CompileResponse& response) {
+  if (response.ok) {
+    out << "RESP " << id << " ok hit=" << (response.cacheHit ? 1 : 0)
+        << " coalesced=" << (response.coalesced ? 1 : 0)
+        << " bytes=" << response.payload.size() << " key=" << response.key
+        << " compile_us=" << response.compileUs
+        << " total_us=" << response.totalUs << "\n";
+  } else {
+    out << "RESP " << id << " error bytes=" << response.payload.size()
+        << "\n";
+  }
+  out << response.payload;
+}
+
+}  // namespace
+
+ServeLoopResult runServeLoop(std::istream& in, std::ostream& out,
+                             CompileService& service,
+                             const ServeLoopOptions& options) {
+  ServeLoopResult result;
+  ThreadPool pool(options.threads);
+  std::vector<PendingRequest> pending;
+
+  auto flush = [&] {
+    if (!pending.empty()) {
+      std::vector<CompileResponse> responses =
+          parallelMap(pool, pending, [&](const PendingRequest& request) {
+            if (!request.error.empty()) {
+              CompileResponse r;
+              r.ok = false;
+              r.payload = strCat("error: ", request.error, "\n");
+              return r;
+            }
+            return service.handle(request.source, request.options);
+          });
+      for (size_t i = 0; i < pending.size(); ++i)
+        writeResponse(out, pending[i].id, responses[i]);
+      result.requests += pending.size();
+      pending.clear();
+    }
+    out.flush();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+    if (directive[0] == '#') continue;
+
+    if (directive == "REQ") {
+      PendingRequest request;
+      request.options = options.defaults;
+      if (!(ls >> request.id)) {
+        out << "PROTOCOL-ERROR REQ needs an id\n";
+        continue;
+      }
+      std::string pair;
+      while (ls >> pair) {
+        size_t eq = pair.find('=');
+        try {
+          checkArg(eq != std::string::npos && eq > 0,
+                   strCat("malformed option '", pair, "'"));
+          applyOption(request.options, pair.substr(0, eq),
+                      pair.substr(eq + 1));
+        } catch (const Error& e) {
+          if (request.error.empty()) request.error = e.what();
+        }
+      }
+      // Body lines verbatim until END. EOF before END is a truncated
+      // request: report it instead of compiling a half kernel.
+      bool terminated = false;
+      std::string body;
+      while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line == "END") {
+          terminated = true;
+          break;
+        }
+        body += line;
+        body += '\n';
+      }
+      if (!terminated && request.error.empty())
+        request.error = "truncated request: EOF before END";
+      request.source = std::move(body);
+      pending.push_back(std::move(request));
+      if (pending.size() >= options.maxBatch) flush();
+    } else if (directive == "FLUSH") {
+      flush();
+    } else if (directive == "STATS") {
+      flush();
+      std::string json = service.stats().toJson();
+      out << "STATS-RESP bytes=" << json.size() << "\n" << json;
+      out.flush();
+    } else if (directive == "QUIT") {
+      flush();
+      return result;
+    } else if (directive == "SHUTDOWN") {
+      flush();
+      result.shutdown = true;
+      return result;
+    } else {
+      out << "PROTOCOL-ERROR unknown directive '" << directive << "'\n";
+      out.flush();
+    }
+  }
+  flush();
+  return result;
+}
+
+}  // namespace sherlock::serve

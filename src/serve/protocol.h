@@ -1,0 +1,76 @@
+// Newline-delimited batch protocol for the compile service, spoken over
+// stdin/stdout (`sherlockc --serve`) or a unix-domain socket
+// (`--socket PATH`). Line-oriented and human-typable:
+//
+//   REQ <id> [key=value ...]     start a request; options override the
+//                                daemon defaults for this request only:
+//                                lang=dag|kernel emit=asm|stats
+//                                target=<N> tech=reram|stt|pcm
+//                                strategy=opt|naive mra=<k>
+//                                fraction=<f> grid=<RxC> hop-cost=<ns>
+//                                fault-density=<f> fault-seed=<N>
+//                                spare-rows=<N> nand=0|1 opt=0|1
+//   <kernel lines ...>           the kernel body (sherlock-dag text or
+//                                kernel-language source, per lang=)
+//   END                          finish the request
+//   FLUSH                        compile the pending batch now and
+//                                write the responses
+//   STATS                        flush, then emit a metrics snapshot
+//   QUIT                         flush, respond, close this session
+//   SHUTDOWN                     like QUIT, but also stops a socket
+//                                server's accept loop
+//
+// Blank lines and lines starting with '#' between requests are ignored.
+// Requests also auto-flush when maxBatch accumulate. Each batch is
+// compiled concurrently on the shared PR-1 thread pool; responses are
+// written in request order regardless of completion order:
+//
+//   RESP <id> ok hit=<0|1> coalesced=<0|1> bytes=<N> key=<cache key>
+//        compile_us=<f> total_us=<f>     (one line; wrapped here)
+//   <exactly N payload bytes>
+//   RESP <id> error bytes=<N>
+//   <exactly N message bytes>
+//   STATS-RESP bytes=<N>
+//   <exactly N JSON bytes>
+//
+// Payload bytes are a per-request binding header ("# inputs: a->i0 ...")
+// followed by the cached program body; identical requests receive
+// byte-identical payloads whether served cold or from cache (the CI
+// smoke step asserts exactly this). The `hit`/`coalesced` flags and the
+// timing fields are diagnostics — they vary run to run and are excluded
+// from such comparisons.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "serve/service.h"
+
+namespace sherlock::serve {
+
+struct ServeLoopOptions {
+  /// Daemon-wide request defaults (from sherlockc's flags); per-request
+  /// key=value pairs overlay these.
+  RequestOptions defaults;
+  /// Pending requests that trigger an automatic flush.
+  size_t maxBatch = 64;
+  /// Thread-pool parallelism for batch compiles (0 = SHERLOCK_THREADS /
+  /// hardware default; 1 = serial).
+  int threads = 0;
+};
+
+struct ServeLoopResult {
+  uint64_t requests = 0;
+  /// The session ended with SHUTDOWN (socket servers stop accepting).
+  bool shutdown = false;
+};
+
+/// Runs one protocol session until QUIT/SHUTDOWN/EOF. Protocol-level
+/// problems (bad options, truncated request) are reported as per-request
+/// error responses or PROTOCOL-ERROR lines; the loop itself only exits
+/// on end of session.
+ServeLoopResult runServeLoop(std::istream& in, std::ostream& out,
+                             CompileService& service,
+                             const ServeLoopOptions& options);
+
+}  // namespace sherlock::serve

@@ -1,0 +1,312 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <optional>
+#include <sstream>
+
+#include "device/faultmap.h"
+#include "frontend/lowering.h"
+#include "ir/analysis.h"
+#include "ir/canonical.h"
+#include "ir/serialize.h"
+#include "mapping/compiler.h"
+#include "mapping/program_analysis.h"
+#include "support/diagnostics.h"
+#include "transforms/nand_lowering.h"
+#include "transforms/passes.h"
+#include "transforms/substitution.h"
+
+namespace sherlock::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double usSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+device::TechnologyParams techFor(const std::string& name) {
+  if (name == "reram") return device::TechnologyParams::reRam();
+  if (name == "stt") return device::TechnologyParams::sttMram();
+  if (name == "pcm") return device::TechnologyParams::pcm();
+  throw Error(strCat("unknown technology '", name, "'"));
+}
+
+}  // namespace
+
+/// A parsed-and-canonicalized request, ready to compile. The body is a
+/// pure function of (graph, options) — exactly what the cache key
+/// encodes — so cached and cold responses are byte-identical.
+struct CanonicalRequest {
+  const ir::Graph& graph;
+  const RequestOptions& options;
+};
+
+namespace {
+
+/// The option fields the emitted bytes depend on, pipe-delimited.
+std::string optionsKey(const RequestOptions& o) {
+  return strCat("emit=", o.emit, "|strategy=", o.strategy,
+                "|dim=", o.targetDim, "|mra=", o.mra,
+                "|frac=", o.fraction, "|tech=", o.tech,
+                "|grid=", o.grid.empty() ? "-" : o.grid,
+                "|hop=", o.hopCost, "|fd=", o.faultDensity,
+                "|fseed=", o.faultSeed, "|spare=", o.spareRows,
+                "|nand=", o.nandLower ? 1 : 0,
+                "|O=", o.aggressive ? 1 : 0);
+}
+
+}  // namespace
+
+std::string CompileService::cacheKey(const std::string& fingerprint,
+                                     const RequestOptions& o) {
+  // `lang` is deliberately absent: a DAG and a kernel-language source
+  // lowering to the same canonical graph get the same program.
+  return strCat(fingerprint, "|", optionsKey(o));
+}
+
+std::string CompileService::directKey(const std::string& source,
+                                      const RequestOptions& o) {
+  // Unlike the canonical key, `lang` matters here: the same bytes parse
+  // to different graphs under different frontends.
+  return strCat("lang=", o.lang, "|", optionsKey(o), "\n", source);
+}
+
+CompileService::CompileService(ServiceOptions options)
+    : options_(std::move(options)),
+      direct_(options_.cacheCapacity),
+      cache_(options_.cacheCapacity) {}
+
+std::string CompileService::compileBody(
+    const CanonicalRequest& request) const {
+  const RequestOptions& o = request.options;
+  checkArg(o.emit == "asm" || o.emit == "stats",
+           strCat("unknown emit kind '", o.emit, "'"));
+  checkArg(o.strategy == "opt" || o.strategy == "naive",
+           strCat("unknown strategy '", o.strategy, "'"));
+
+  isa::TargetSpec target =
+      isa::TargetSpec::square(o.targetDim, techFor(o.tech), o.mra);
+  if (!o.grid.empty())
+    target = target.withGrid(arraymodel::GridConfig::parse(o.grid));
+  if (o.hopCost >= 0) target.grid.hopLatencyNs = o.hopCost;
+
+  const ir::Graph* graph = &request.graph;
+  ir::Graph substituted;
+  transforms::SubstitutionStats substitution;
+  if (o.mra > 2) {
+    transforms::SubstitutionOptions sopt;
+    sopt.maxOperands = o.mra;
+    sopt.fraction = o.fraction;
+    auto sub = transforms::substituteNodes(request.graph, sopt);
+    substituted = std::move(sub.graph);
+    substitution = sub.stats;
+    graph = &substituted;
+  }
+
+  std::optional<device::FaultMap> faultMap;
+  if (o.faultDensity > 0.0) {
+    device::FaultMapOptions fo;
+    fo.seed = o.faultSeed;
+    fo.stuckDensity = o.faultDensity;
+    fo.weakDensity = o.faultDensity * 0.5;
+    faultMap = device::FaultMap::generate(target.numArrays, target.rows(),
+                                          target.cols(), fo);
+  }
+
+  mapping::CompileOptions copts;
+  copts.strategy = o.strategy == "naive" ? mapping::Strategy::Naive
+                                         : mapping::Strategy::Optimized;
+  copts.faults.map = faultMap ? &*faultMap : nullptr;
+  copts.faults.spareRows = o.spareRows;
+  mapping::CompileResult compiled = mapping::compile(*graph, target, copts);
+
+  std::ostringstream out;
+  out << "# sherlock-serve " << target.tech.name << " " << o.targetDim
+      << "x" << o.targetDim << " " << o.strategy
+      << (o.grid.empty() ? "" : strCat(" grid=", o.grid)) << "\n";
+  if (o.emit == "asm") {
+    out << isa::toAssembly(compiled.program.instructions);
+    return out.str();
+  }
+  const auto& s = compiled.program.stats;
+  out << "DAG:          " << graph->opCount() << " ops, "
+      << graph->valueCount() << " values, critical path "
+      << ir::criticalPathLength(*graph) << "\n";
+  if (o.mra > 2)
+    out << "substitution: " << substitution.applied << "/"
+        << substitution.candidates << " merges, " << substitution.wideOps
+        << " wide ops\n";
+  out << "instructions: " << compiled.program.instructions.size()
+      << " (host writes " << s.hostWrites << ", CIM reads " << s.cimReads
+      << ", plain reads " << s.plainReads << ", spills " << s.spillWrites
+      << ", shifts " << s.shifts << ", moves " << s.moves << ", xfers "
+      << s.xfers << ")\n"
+      << "columns used: " << compiled.program.usedColumns
+      << ", peak live cells: " << compiled.program.peakLiveCells << "\n"
+      << mapping::analyzeProgram(compiled.program).toString();
+  return out.str();
+}
+
+CompileResponse CompileService::handle(const std::string& source,
+                                       const RequestOptions& options) {
+  Clock::time_point t0 = Clock::now();
+  CompileResponse resp;
+  std::string memoKey = directKey(source, options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests;
+    // Direct mode: an exact repeat of a completed request skips parse
+    // and canonicalization and returns the pinned payload verbatim.
+    if (DirectEntry* memo = direct_.get(memoKey)) {
+      ++counters_.hits;
+      ++counters_.directHits;
+      resp.ok = true;
+      resp.cacheHit = true;
+      resp.direct = true;
+      resp.key = memo->key;
+      resp.payload = *memo->payload;
+      resp.totalUs = usSince(t0);
+      hitUs_.record(resp.totalUs);
+      return resp;
+    }
+  }
+  try {
+    ir::Graph g;
+    if (options.lang == "kernel") {
+      g = frontend::compileKernel(source);
+    } else if (options.lang == "dag") {
+      g = ir::graphFromText(source);
+    } else {
+      throw Error(strCat("unknown lang '", options.lang, "'"));
+    }
+    g = transforms::canonicalize(g);
+    if (options.aggressive) g = transforms::optimize(g);
+    if (options.nandLower)
+      g = transforms::canonicalize(transforms::lowerToNand(g));
+    ir::CanonicalForm canonical = ir::canonicalForm(g);
+    resp.key = cacheKey(canonical.fingerprint(), options);
+
+    // Per-request binding header: the cached body names inputs by
+    // canonical position; this line maps the caller's names onto them.
+    std::ostringstream header;
+    header << "# key " << resp.key << "\n# inputs:";
+    for (size_t k = 0; k < canonical.inputNames.size(); ++k)
+      header << " " << canonical.inputNames[k] << "->i" << k;
+    header << "\n";
+
+    std::shared_ptr<const std::string> body;
+    bool isBuilder = false;
+    std::promise<std::shared_ptr<const std::string>> promise;
+    std::shared_future<std::shared_ptr<const std::string>> pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (std::shared_ptr<const std::string>* hit = cache_.get(resp.key)) {
+        body = *hit;
+        ++counters_.hits;
+        resp.cacheHit = true;
+      } else if (auto it = inflight_.find(resp.key);
+                 it != inflight_.end()) {
+        pending = it->second.future;
+      } else {
+        isBuilder = true;
+        pending = promise.get_future().share();
+        inflight_.emplace(resp.key, Inflight{pending});
+      }
+    }
+
+    if (isBuilder) {
+      if (options_.onColdCompile) options_.onColdCompile(resp.key);
+      Clock::time_point c0 = Clock::now();
+      try {
+        body = std::make_shared<const std::string>(
+            compileBody(CanonicalRequest{canonical.graph, options}));
+        resp.compileUs = usSince(c0);
+      } catch (...) {
+        // Errors are not cached: release the key so a corrected retry
+        // (or a different fault map) compiles fresh, and wake waiters
+        // with the failure.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          inflight_.erase(resp.key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        cache_.put(resp.key, body);
+        counters_.evictions = cache_.evictions();
+        ++counters_.misses;
+        inflight_.erase(resp.key);
+        coldUs_.record(resp.compileUs);
+      }
+      promise.set_value(body);
+    } else if (!resp.cacheHit) {
+      body = pending.get();  // rethrows the builder's failure
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.coalesced;
+      resp.coalesced = true;
+    }
+
+    auto full =
+        std::make_shared<const std::string>(header.str() + *body);
+    resp.payload = *full;
+    resp.ok = true;
+    resp.totalUs = usSince(t0);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      direct_.put(memoKey, DirectEntry{std::move(full), resp.key});
+      if (resp.cacheHit) hitUs_.record(resp.totalUs);
+    }
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.payload = strCat("error: ", e.what(), "\n");
+    resp.totalUs = usSince(t0);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.errors;
+  }
+  return resp;
+}
+
+ServiceStats CompileService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats s;
+  s.counters = counters_;
+  s.cacheSize = cache_.size();
+  s.cacheCapacity = cache_.capacity();
+  s.hitP50Us = hitUs_.percentile(50);
+  s.hitP99Us = hitUs_.percentile(99);
+  s.hitMeanUs = hitUs_.mean();
+  s.coldP50Us = coldUs_.percentile(50);
+  s.coldP99Us = coldUs_.percentile(99);
+  s.coldMeanUs = coldUs_.mean();
+  return s;
+}
+
+std::string ServiceStats::toJson() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"requests\": " << counters.requests << ",\n"
+      << "  \"hits\": " << counters.hits << ",\n"
+      << "  \"direct_hits\": " << counters.directHits << ",\n"
+      << "  \"misses\": " << counters.misses << ",\n"
+      << "  \"coalesced\": " << counters.coalesced << ",\n"
+      << "  \"errors\": " << counters.errors << ",\n"
+      << "  \"evictions\": " << counters.evictions << ",\n"
+      << "  \"hit_rate\": " << counters.hitRate() << ",\n"
+      << "  \"cache_size\": " << cacheSize << ",\n"
+      << "  \"cache_capacity\": " << cacheCapacity << ",\n"
+      << "  \"hit_p50_us\": " << hitP50Us << ",\n"
+      << "  \"hit_p99_us\": " << hitP99Us << ",\n"
+      << "  \"hit_mean_us\": " << hitMeanUs << ",\n"
+      << "  \"cold_p50_us\": " << coldP50Us << ",\n"
+      << "  \"cold_p99_us\": " << coldP99Us << ",\n"
+      << "  \"cold_mean_us\": " << coldMeanUs << "\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace sherlock::serve

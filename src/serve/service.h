@@ -1,0 +1,148 @@
+// Long-running compile service: a content-addressed, bounded-LRU
+// compile cache with single-flight deduplication, the ROADMAP "never
+// compile the same kernel twice" subsystem.
+//
+// A request carries a kernel (sherlock-dag text or kernel-language
+// source) plus per-request compile options. The service canonicalizes
+// the DAG (constant fold + CSE + dead-node elimination, then the
+// isomorphism-invariant renumbering of ir/canonical.h) and keys the
+// cache on
+//
+//   (canonical DAG fingerprint, mapping strategy, array dim, MRA,
+//    technology, grid + hop cost, fault policy, NAND lowering,
+//    aggressive-opt flag, emit kind)
+//
+// — everything the emitted program bytes depend on. The cached body is
+// compiled from the *canonical* graph, so every member of an
+// equivalence class (alpha-renamed, renumbered, operand-commuted
+// variants) receives byte-identical program text; a per-request binding
+// header maps the caller's input names onto the canonical "i<k>" names.
+//
+// The cache is two-level, after ccache's direct/preprocessor split: a
+// "direct mode" LRU memo keyed on the exact source bytes + options
+// serves byte-identical repeats without re-parsing or re-canonicalizing
+// (the dominant cost of a canonical-level hit), and the canonical cache
+// behind it catches renamed/renumbered/commuted variants. Both levels
+// share the configured capacity; a memo entry pins its payload, so a
+// direct hit stays byte-correct even if the canonical entry behind it
+// was evicted.
+//
+// Concurrency: handle() is safe to call from any number of threads
+// (the serve loop fans batches out on the PR-1 thread pool). Lookups
+// take one short mutex; compiles run outside it. Two in-flight requests
+// for the same key compile once: the second waits on the first's
+// shared_future (single-flight), counted as `coalesced` in the metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "support/lru_cache.h"
+#include "support/metrics.h"
+
+namespace sherlock::serve {
+
+/// Per-request compile options; defaults mirror sherlockc's. The serve
+/// loop overlays protocol key=value pairs onto the daemon-wide defaults.
+struct RequestOptions {
+  std::string lang = "dag";  ///< "dag" (ir/serialize) | "kernel" (.sk)
+  std::string emit = "asm";  ///< "asm" | "stats"
+  int targetDim = 512;
+  std::string tech = "reram";
+  std::string strategy = "opt";
+  int mra = 2;
+  double fraction = 1.0;   ///< substitution budget when mra > 2
+  std::string grid;        ///< "RxC" mesh; empty = single array
+  double hopCost = -1;     ///< per-hop bus latency ns; <0 = default
+  double faultDensity = 0; ///< stuck density (+ density/2 weak)
+  uint64_t faultSeed = 1;
+  int spareRows = 0;
+  bool nandLower = false;
+  bool aggressive = false;  ///< -O inverter-folding pipeline
+};
+
+struct ServiceOptions {
+  /// LRU capacity in cached programs; 0 disables caching (every
+  /// request cold-compiles — the bench's baseline mode).
+  size_t cacheCapacity = 256;
+  /// Test hook: invoked after a cold compile is chosen but before it
+  /// runs, outside the service lock. Lets tests hold the first compile
+  /// in flight while piling up coalescing requests.
+  std::function<void(const std::string& key)> onColdCompile;
+};
+
+struct CompileResponse {
+  bool ok = false;
+  bool cacheHit = false;    ///< served straight from the LRU
+  bool direct = false;      ///< exact-source memo hit (implies cacheHit)
+  bool coalesced = false;   ///< waited on an identical in-flight compile
+  std::string payload;      ///< binding header + program text, or error
+  std::string key;          ///< full cache key (fingerprint + config)
+  double totalUs = 0;       ///< wall-clock of handle()
+  double compileUs = 0;     ///< cold-compile portion (0 on hit)
+};
+
+/// Snapshot of the service counters + latency percentiles.
+struct ServiceStats {
+  CacheCounters counters;
+  size_t cacheSize = 0;
+  size_t cacheCapacity = 0;
+  double hitP50Us = 0, hitP99Us = 0;
+  double coldP50Us = 0, coldP99Us = 0;
+  double hitMeanUs = 0, coldMeanUs = 0;
+
+  /// Flat JSON object (the artifact sherlockc --serve dumps on
+  /// shutdown and the STATS protocol command returns).
+  std::string toJson() const;
+};
+
+class CompileService {
+ public:
+  explicit CompileService(ServiceOptions options = {});
+
+  /// Compiles (or serves from cache) one kernel. Never throws: failures
+  /// come back as ok=false with the diagnostic in payload.
+  CompileResponse handle(const std::string& source,
+                         const RequestOptions& options);
+
+  ServiceStats stats() const;
+
+  /// The cache key handle() would use, exposed for key tests.
+  static std::string cacheKey(const std::string& fingerprint,
+                              const RequestOptions& options);
+
+  /// The direct-mode memo key for an exact source + options pair.
+  static std::string directKey(const std::string& source,
+                               const RequestOptions& options);
+
+ private:
+  struct Inflight {
+    std::shared_future<std::shared_ptr<const std::string>> future;
+  };
+
+  /// A completed response pinned by the direct-mode memo: the full
+  /// payload (binding header + body) plus the canonical cache key it
+  /// resolved to.
+  struct DirectEntry {
+    std::shared_ptr<const std::string> payload;
+    std::string key;
+  };
+
+  /// Compiles the canonical graph into the cacheable body text.
+  std::string compileBody(const struct CanonicalRequest& request) const;
+
+  ServiceOptions options_;
+  mutable std::mutex mu_;
+  LruCache<std::string, DirectEntry> direct_;
+  LruCache<std::string, std::shared_ptr<const std::string>> cache_;
+  std::unordered_map<std::string, Inflight> inflight_;
+  CacheCounters counters_;
+  PercentileTracker hitUs_, coldUs_;
+};
+
+}  // namespace sherlock::serve

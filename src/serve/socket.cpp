@@ -1,0 +1,110 @@
+#include "serve/socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "support/diagnostics.h"
+
+namespace sherlock::serve {
+
+FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
+  setg(inBuf_, inBuf_, inBuf_);
+  setp(outBuf_, outBuf_ + sizeof(outBuf_));
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::read(fd_, inBuf_, sizeof(inBuf_));
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();
+  setg(inBuf_, inBuf_, inBuf_ + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreamBuf::flushBuffer() {
+  const char* p = pbase();
+  while (p < pptr()) {
+    ssize_t n = ::write(fd_, p, static_cast<size_t>(pptr() - p));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+  }
+  setp(outBuf_, outBuf_ + sizeof(outBuf_));
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!flushBuffer()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return flushBuffer() ? 0 : -1; }
+
+ServeLoopResult serveFd(int fd, CompileService& service,
+                        const ServeLoopOptions& options) {
+  FdStreamBuf inBuf(fd), outBuf(fd);
+  std::istream in(&inBuf);
+  std::ostream out(&outBuf);
+  ServeLoopResult result = runServeLoop(in, out, service, options);
+  out.flush();
+  return result;
+}
+
+uint64_t runUnixSocketServer(const std::string& path,
+                             CompileService& service,
+                             const ServeLoopOptions& options) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  checkArg(path.size() < sizeof(addr.sun_path),
+           strCat("socket path too long: ", path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0)
+    throw Error(strCat("socket(): ", std::strerror(errno)));
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(listener);
+    throw Error(strCat("bind(", path, "): ", std::strerror(err)));
+  }
+  if (::listen(listener, 8) != 0) {
+    int err = errno;
+    ::close(listener);
+    ::unlink(path.c_str());
+    throw Error(strCat("listen(", path, "): ", std::strerror(err)));
+  }
+
+  uint64_t sessions = 0;
+  bool shutdown = false;
+  while (!shutdown) {
+    int conn;
+    do {
+      conn = ::accept(listener, nullptr, nullptr);
+    } while (conn < 0 && errno == EINTR);
+    if (conn < 0) break;
+    ++sessions;
+    shutdown = serveFd(conn, service, options).shutdown;
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return sessions;
+}
+
+}  // namespace sherlock::serve

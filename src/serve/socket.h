@@ -1,0 +1,53 @@
+// Unix-domain socket transport for the compile service: a minimal
+// accept loop that speaks the serve protocol (serve/protocol.h) over
+// AF_UNIX stream connections, plus the fd-backed streambuf it (and the
+// socketpair-based tests) use to run the loop over raw descriptors.
+//
+// Scope: connections are served one at a time — concurrency lives
+// *inside* a session (batches fan out on the thread pool), which is the
+// throughput path that matters for a compile cache; a client that wants
+// parallel streams opens its batches in one session. A session ending
+// in SHUTDOWN stops the accept loop; QUIT/EOF just closes that
+// connection.
+#pragma once
+
+#include <streambuf>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace sherlock::serve {
+
+/// Bidirectional streambuf over a file descriptor (socket or pipe).
+/// Does not own the descriptor.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool flushBuffer();
+
+  int fd_;
+  char inBuf_[4096];
+  char outBuf_[4096];
+};
+
+/// Runs one protocol session over an open descriptor (used per accepted
+/// connection and by the socketpair tests).
+ServeLoopResult serveFd(int fd, CompileService& service,
+                        const ServeLoopOptions& options);
+
+/// Binds `path` (unlinking any stale socket first), accepts connections
+/// until a session issues SHUTDOWN, and serves each with serveFd.
+/// Returns the number of sessions served; throws Error on socket
+/// failures.
+uint64_t runUnixSocketServer(const std::string& path,
+                             CompileService& service,
+                             const ServeLoopOptions& options);
+
+}  // namespace sherlock::serve

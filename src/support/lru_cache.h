@@ -1,0 +1,86 @@
+// Bounded least-recently-used cache, the storage behind the compile
+// service's content-addressed program cache (ROADMAP "never compile the
+// same kernel twice"). Same idiom as the request-serving simulators'
+// LRUCache (SNIPPETS 1–2): an intrusive recency list plus a key index,
+// O(1) get/put, with eviction accounting surfaced for metrics.
+//
+// Not thread-safe: callers serialize access (the compile service holds
+// its own mutex around lookups and keeps compiles outside the lock).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace sherlock {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  /// `capacity` bounds the entry count; 0 disables caching entirely
+  /// (every put is dropped, every get misses).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value and promotes the entry to most-recently
+  /// used, or nullptr on miss. The pointer stays valid until the next
+  /// put() or clear().
+  V* get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    items_.splice(items_.begin(), items_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites; the entry becomes most-recently used. When
+  /// the cache is over capacity the least-recently-used entry is
+  /// dropped and counted in evictions().
+  void put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      items_.splice(items_.begin(), items_, it->second);
+      return;
+    }
+    items_.emplace_front(key, std::move(value));
+    index_.emplace(key, items_.begin());
+    if (items_.size() > capacity_) {
+      index_.erase(items_.back().first);
+      items_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  /// Lookup without a recency update (tests inspect eviction order
+  /// through this without perturbing it).
+  bool contains(const K& key) const { return index_.count(key) != 0; }
+
+  /// Keys from most- to least-recently used.
+  std::vector<K> keysMruToLru() const {
+    std::vector<K> keys;
+    keys.reserve(items_.size());
+    for (const auto& item : items_) keys.push_back(item.first);
+    return keys;
+  }
+
+  void clear() {
+    items_.clear();
+    index_.clear();
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  size_t capacity_;
+  uint64_t evictions_ = 0;
+  std::list<std::pair<K, V>> items_;  // front = most recently used
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator,
+                     Hash>
+      index_;
+};
+
+}  // namespace sherlock

@@ -1,0 +1,72 @@
+// Latency/percentile accounting primitives for the serving paths,
+// following the per-op latency accounting idiom of the request-serving
+// simulators (SNIPPETS 1–2: `Metrics` threaded through every op).
+//
+// PercentileTracker records raw samples and answers nearest-rank
+// percentile queries; the sample streams here are request-scale
+// (thousands to low millions), so keeping them resident is simpler and
+// more faithful than a sketch. Not thread-safe — owners lock.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sherlock {
+
+class PercentileTracker {
+ public:
+  void record(double value) { samples_.push_back(value); }
+
+  size_t count() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Nearest-rank percentile; q in [0, 100]. Returns 0 with no samples.
+  double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t idx = static_cast<size_t>(rank + 0.5);
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    return sorted[idx];
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Cache-outcome counters shared by cache-fronted services: every
+/// request is exactly one of hit / miss (the request that performed the
+/// compile) / coalesced (waited on an identical in-flight compile) /
+/// error.
+struct CacheCounters {
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t coalesced = 0;
+  uint64_t errors = 0;
+  uint64_t evictions = 0;
+  /// Subset of `hits` answered by the exact-source memo (direct mode),
+  /// skipping parse + canonicalization entirely.
+  uint64_t directHits = 0;
+
+  double hitRate() const {
+    uint64_t served = hits + misses + coalesced;
+    return served == 0
+               ? 0.0
+               : static_cast<double>(hits + coalesced) /
+                     static_cast<double>(served);
+  }
+};
+
+}  // namespace sherlock

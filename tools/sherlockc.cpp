@@ -25,6 +25,9 @@
 
 #include "device/faultmap.h"
 #include "frontend/lowering.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "serve/socket.h"
 #include "ir/analysis.h"
 #include "ir/dot.h"
 #include "ir/serialize.h"
@@ -62,6 +65,14 @@ struct Options {
   int faultSeed = 1;
   int spareRows = 0;   // per-column spare rows reserved for repair
   bool guarded = false;  // --emit sim: guarded Monte-Carlo execution
+  // Compile-service daemon mode (src/serve): a long-running process
+  // accepting kernels over the newline-delimited batch protocol, with a
+  // content-addressed LRU compile cache and single-flight dedup. The
+  // flags above become the daemon-wide request defaults.
+  bool serve = false;       // --serve: daemon on stdin/stdout
+  std::string socketPath;   // --socket: serve on a unix socket instead
+  int cacheSize = 256;      // --cache-size: LRU capacity (0 disables)
+  std::string metricsOut;   // --metrics-out: JSON metrics on shutdown
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -99,7 +110,21 @@ struct Options {
          "                             injection with guarded\n"
          "                             detect-and-retry execution\n"
          "  -O                         aggressive DAG optimization\n"
-         "                             (inverter folding / De Morgan)\n";
+         "                             (inverter folding / De Morgan)\n"
+         "  --serve                    compile-service daemon: accept\n"
+         "                             kernels over the newline-delimited\n"
+         "                             batch protocol on stdin (see\n"
+         "                             src/serve/protocol.h) with a\n"
+         "                             content-addressed LRU compile\n"
+         "                             cache; other flags become the\n"
+         "                             request defaults\n"
+         "  --socket <path>            with --serve: listen on a unix\n"
+         "                             socket instead of stdin\n"
+         "  --cache-size <N>           cached programs held by the\n"
+         "                             daemon's LRU (default 256;\n"
+         "                             0 disables caching)\n"
+         "  --metrics-out <path>       write hit/miss/latency metrics\n"
+         "                             JSON there on daemon shutdown\n";
   std::exit(2);
 }
 
@@ -151,11 +176,15 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--nand") o.nandLower = true;
     else if (arg == "--verify") o.verify = true;
     else if (arg == "-O") o.aggressive = true;
+    else if (arg == "--serve") o.serve = true;
+    else if (arg == "--socket") o.socketPath = next();
+    else if (arg == "--cache-size") o.cacheSize = nextInt();
+    else if (arg == "--metrics-out") o.metricsOut = next();
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
     else o.inputFiles.push_back(arg);
   }
-  if (o.inputFiles.empty()) usage(argv[0]);
+  if (o.inputFiles.empty() && !o.serve) usage(argv[0]);
   return o;
 }
 
@@ -338,10 +367,65 @@ std::string processFile(const std::string& inputFile, const Options& opts) {
   throw Error(strCat("unknown --emit kind '", opts.emit, "'"));
 }
 
+/// Daemon mode: run the compile service until EOF/QUIT/SHUTDOWN, then
+/// dump metrics (stderr always; --metrics-out additionally as JSON).
+int runServe(const Options& opts) {
+  serve::ServiceOptions sopts;
+  sopts.cacheCapacity =
+      opts.cacheSize < 0 ? 0 : static_cast<size_t>(opts.cacheSize);
+  serve::CompileService service(sopts);
+
+  serve::ServeLoopOptions lopts;
+  lopts.threads = opts.jobs;
+  lopts.defaults.targetDim = opts.targetDim;
+  lopts.defaults.tech = opts.tech;
+  lopts.defaults.strategy = opts.strategy;
+  lopts.defaults.mra = opts.mra;
+  lopts.defaults.fraction = opts.fraction;
+  lopts.defaults.grid = opts.grid;
+  lopts.defaults.hopCost = opts.hopCost;
+  lopts.defaults.faultDensity = opts.faultDensity;
+  lopts.defaults.faultSeed = static_cast<uint64_t>(opts.faultSeed);
+  lopts.defaults.spareRows = opts.spareRows;
+  lopts.defaults.nandLower = opts.nandLower;
+  lopts.defaults.aggressive = opts.aggressive;
+
+  try {
+    if (!opts.socketPath.empty()) {
+      std::cerr << "sherlockc: serving on " << opts.socketPath << "\n";
+      serve::runUnixSocketServer(opts.socketPath, service, lopts);
+    } else {
+      serve::runServeLoop(std::cin, std::cout, service, lopts);
+    }
+  } catch (const Error& e) {
+    std::cerr << "sherlockc: serve error: " << e.what() << "\n";
+    return 1;
+  }
+
+  serve::ServiceStats stats = service.stats();
+  std::cerr << "sherlockc: served " << stats.counters.requests
+            << " requests (" << stats.counters.hits << " hits, "
+            << stats.counters.misses << " compiles, "
+            << stats.counters.coalesced << " coalesced, "
+            << stats.counters.errors << " errors, "
+            << stats.counters.evictions << " evictions; hit rate "
+            << stats.counters.hitRate() << ")\n";
+  if (!opts.metricsOut.empty()) {
+    std::ofstream out(opts.metricsOut);
+    if (!out) {
+      std::cerr << "sherlockc: cannot write " << opts.metricsOut << "\n";
+      return 1;
+    }
+    out << stats.toJson();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opts = parseArgs(argc, argv);
+  if (opts.serve) return runServe(opts);
 
   struct FileResult {
     std::string text;
