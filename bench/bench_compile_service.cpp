@@ -255,7 +255,8 @@ int main(int argc, char** argv) {
 
   if (!jsonPath.empty()) {
     Json root = Json::object();
-    root.set("pr", 8)
+    root.set("schema_version", kBenchSchemaVersion)
+        .set("pr", 8)
         .set("title",
              "Compile-service daemon with content-addressed kernel cache")
         .set("benchmark",

@@ -224,6 +224,7 @@ int main(int argc, char** argv) {
                                       wallStart)
             .count();
     Json doc = Json::object()
+                   .set("schema_version", kBenchSchemaVersion)
                    .set("bench", "bench_fault_tolerance")
                    .set("array_dim", kDim)
                    .set("trials_per_point", kTrials)

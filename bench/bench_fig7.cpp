@@ -81,7 +81,8 @@ int main(int argc, char** argv) {
 
   if (!jsonPath.empty()) {
     Json root = Json::object();
-    root.set("pr", 8)
+    root.set("schema_version", kBenchSchemaVersion)
+        .set("pr", 8)
         .set("title", "Fig. 7 reproduction")
         .set("benchmark",
              "bench_fig7: EDP gain over CPU across array sizes and "

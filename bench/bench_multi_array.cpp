@@ -16,6 +16,7 @@
 // --json <path> writes the machine-readable artifact CI uploads
 // (BENCH_7.json); --dim <N> overrides the 1x1 base dimension and
 // --workload filters (exploration only).
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -83,8 +84,8 @@ int main(int argc, char** argv) {
 
   Table table("Multi-array scaling (ReRAM, optimized mapping)");
   table.setHeader({"workload", "dim", "grid", "instr", "xfers", "moves",
-                   "bus us", "stall us", "latency us", "energy uJ",
-                   "overlap/serial", "speedup"});
+                   "bus us", "stall us", "links", "latency us",
+                   "energy uJ", "overlap/serial", "speedup"});
   Json configs = Json::array();
   std::map<std::string, double> baseline;  // workload -> 1x1 latency
   for (size_t i = 0; i < jobs.size(); ++i) {
@@ -97,12 +98,25 @@ int main(int argc, char** argv) {
         r.partition.serializedMakespanNs > 0
             ? r.partition.overlappedMakespanNs / r.partition.serializedMakespanNs
             : 1.0;
+    // Per-directed-link occupancy: which mesh links the bus time went
+    // to. max_link_busy_ns >> busBusyNs / active_links flags a hot link.
+    double maxLinkBusyNs = 0;
+    Json links = Json::array();
+    for (const auto& ls : r.sim.linkStats) {
+      maxLinkBusyNs = std::max(maxLinkBusyNs, ls.busyNs);
+      links.push(Json::object()
+                     .set("from", ls.fromArray)
+                     .set("to", ls.toArray)
+                     .set("busy_ns", ls.busyNs)
+                     .set("transfers", ls.transfers));
+    }
     table.addRow({j.workload, std::to_string(j.config.arrayDim), grid,
                   std::to_string(r.instructionCount),
                   std::to_string(r.sim.xferCount),
                   std::to_string(r.sim.moveCount),
                   Table::num(r.sim.busBusyNs / 1000.0),
                   Table::num(r.sim.stallNs / 1000.0),
+                  std::to_string(r.sim.linkStats.size()),
                   Table::num(r.sim.latencyUs()), Table::num(r.sim.energyUj()),
                   Table::num(overlapRatio), Table::num(speedup)});
     Json c = Json::object();
@@ -115,6 +129,9 @@ int main(int argc, char** argv) {
         .set("moves", r.sim.moveCount)
         .set("bus_busy_ns", r.sim.busBusyNs)
         .set("bus_wait_ns", r.sim.busWaitNs)
+        .set("active_links", static_cast<long>(r.sim.linkStats.size()))
+        .set("max_link_busy_ns", maxLinkBusyNs)
+        .set("links", std::move(links))
         .set("latency_ns", r.sim.latencyNs)
         .set("energy_pj", r.sim.energyPj)
         .set("overlapped_makespan_ns", r.partition.overlappedMakespanNs)
@@ -144,7 +161,8 @@ int main(int argc, char** argv) {
 
   if (!jsonPath.empty()) {
     Json root = Json::object();
-    root.set("pr", 7)
+    root.set("schema_version", kBenchSchemaVersion)
+        .set("pr", 7)
         .set("title", "Multi-array sharding & inter-array scheduling")
         .set("benchmark",
              "bench_multi_array: AES-128 + 16-bit BitWeaving across "

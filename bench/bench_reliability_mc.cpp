@@ -162,6 +162,7 @@ int main(int argc, char** argv) {
 
   if (!jsonPath.empty()) {
     Json doc = Json::object()
+                   .set("schema_version", kBenchSchemaVersion)
                    .set("bench", "bench_reliability_mc")
                    .set("workload", "Bitweaving")
                    .set("lane_words", kLaneWords)

@@ -148,7 +148,8 @@ int main(int argc, char** argv) {
       configs.push(std::move(c));
     }
     Json root = Json::object();
-    root.set("pr", 8)
+    root.set("schema_version", kBenchSchemaVersion)
+        .set("pr", 8)
         .set("title", "Table 2 reproduction")
         .set("benchmark",
              "bench_table2: latency/energy across technologies, sizes, "

@@ -14,6 +14,15 @@
 
 namespace sherlock::bench {
 
+/// Version of the BENCH_*.json artifact schema. Every emitter stamps
+/// this as "schema_version"; scripts/compare_bench.py refuses to gate a
+/// run against a baseline from a different version (artifacts without
+/// the field are treated as version 1). Bump when renaming/removing
+/// fields the gates read — additive fields do not need a bump, but this
+/// v2 bump marks the introduction of the field itself plus the per-link
+/// occupancy arrays in BENCH_7.
+inline constexpr int kBenchSchemaVersion = 2;
+
 /// Build-once JSON value tree. Construction order is preserved for
 /// object keys so emitted artifacts diff cleanly run-over-run.
 class Json {

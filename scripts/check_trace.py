@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validates Chrome trace_event JSON (and optionally unified metrics
+JSON) produced by the sherlock observability layer (support/trace.h,
+support/metrics.h).
+
+Trace checks:
+  * parses as JSON with the expected top-level shape
+    ({"displayTimeUnit": ..., "traceEvents": [...]}),
+  * every event carries the keys its phase requires: all events need
+    ph/pid/tid; B/i/C additionally name + cat; i needs a scope "s";
+    C needs args.value; E must NOT carry name/cat (the exporter omits
+    them); M metadata rows need args.name,
+  * timestamps are monotonically non-decreasing per tid — the exporter
+    sorts the merged per-thread buffers, so a violation means the
+    clock or the merge is broken,
+  * B/E events are stack-balanced per tid: every span that opens
+    closes and no stray E appears (RAII spans guarantee this; a
+    violation means an exporter or instrumentation bug),
+  * --require-span NAME (repeatable): at least one B event with that
+    name exists. CI uses this to assert the compiler/serve/sim layers
+    actually emitted their instrumentation rather than an empty-but-
+    well-formed trace.
+
+Metrics checks (--metrics FILE): schema_version is 1; the
+counters/gauges/histograms sections exist with the right value types;
+every histogram carries count/mean/min/max/p50/p95/p99.
+
+Usage: check_trace.py TRACE.json [--metrics METRICS.json]
+                      [--require-span NAME]... [--quiet]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL — {msg}")
+    return False
+
+
+def check_trace(path, require_spans, quiet):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: not readable JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(f"{path}: missing traceEvents")
+    if doc.get("displayTimeUnit") not in ("ns", "ms"):
+        return fail(f"{path}: bad displayTimeUnit "
+                    f"{doc.get('displayTimeUnit')!r}")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(f"{path}: traceEvents is not a list")
+
+    ok = True
+    last_ts = {}    # tid -> last timestamp seen
+    stacks = {}     # tid -> open span names
+    span_names = set()
+    counts = {"B": 0, "E": 0, "i": 0, "C": 0, "M": 0}
+    for n, e in enumerate(events):
+        where = f"{path}: event {n}"
+        if not isinstance(e, dict) or "ph" not in e:
+            ok = fail(f"{where}: not an object with ph")
+            continue
+        ph = e["ph"]
+        if ph not in counts:
+            ok = fail(f"{where}: unknown phase {ph!r}")
+            continue
+        counts[ph] += 1
+        if "pid" not in e or "tid" not in e:
+            ok = fail(f"{where}: ph={ph} missing pid/tid")
+            continue
+        if ph == "M":
+            if e.get("name") != "thread_name" or \
+                    "name" not in e.get("args", {}):
+                ok = fail(f"{where}: malformed thread_name metadata")
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)):
+            ok = fail(f"{where}: ph={ph} missing numeric ts")
+            continue
+        tid = e["tid"]
+        if ts < last_ts.get(tid, ts):
+            ok = fail(f"{where}: ts {ts} goes backwards on tid {tid} "
+                      f"(prev {last_ts[tid]})")
+        last_ts[tid] = ts
+        if ph in ("B", "i", "C"):
+            if "name" not in e or "cat" not in e:
+                ok = fail(f"{where}: ph={ph} missing name/cat")
+                continue
+        if ph == "B":
+            span_names.add(e["name"])
+            stacks.setdefault(tid, []).append(e["name"])
+        elif ph == "E":
+            if "name" in e or "cat" in e:
+                ok = fail(f"{where}: E events must omit name/cat")
+            if not stacks.get(tid):
+                ok = fail(f"{where}: E with no open span on tid {tid}")
+            else:
+                stacks[tid].pop()
+        elif ph == "i":
+            if e.get("s") not in ("t", "p", "g"):
+                ok = fail(f"{where}: instant missing scope s")
+        elif ph == "C":
+            if not isinstance(e.get("args", {}).get("value"),
+                              (int, float)):
+                ok = fail(f"{where}: counter missing args.value")
+
+    for tid, stack in sorted(stacks.items()):
+        if stack:
+            ok = fail(f"{path}: tid {tid} ends with unclosed spans "
+                      f"{stack}")
+    for name in require_spans:
+        if name not in span_names:
+            ok = fail(f"{path}: required span {name!r} never opened "
+                      f"(have: {sorted(span_names)[:20]})")
+    if ok and not quiet:
+        print(f"check_trace: {path} OK — "
+              f"{counts['B']} spans, {counts['i']} instants, "
+              f"{counts['C']} counter samples, {counts['M']} tracks, "
+              f"{len(last_ts)} tids")
+    return ok
+
+
+def check_metrics(path, quiet):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: not readable JSON: {e}")
+
+    ok = True
+    if doc.get("schema_version") != 1:
+        ok = fail(f"{path}: schema_version "
+                  f"{doc.get('schema_version')!r}, expected 1")
+    for section, types in (("counters", (int,)),
+                           ("gauges", (int, float)),
+                           ("histograms", (dict,))):
+        vals = doc.get(section)
+        if not isinstance(vals, dict):
+            ok = fail(f"{path}: missing {section} object")
+            continue
+        for name, v in vals.items():
+            if not isinstance(v, types) or isinstance(v, bool):
+                ok = fail(f"{path}: {section}[{name!r}] has type "
+                          f"{type(v).__name__}")
+    hist_keys = {"count", "mean", "min", "max", "p50", "p95", "p99"}
+    for name, h in doc.get("histograms", {}).items():
+        if not isinstance(h, dict):
+            continue
+        missing = hist_keys - set(h)
+        if missing:
+            ok = fail(f"{path}: histogram {name!r} missing "
+                      f"{sorted(missing)}")
+    if ok and not quiet:
+        print(f"check_trace: {path} OK — "
+              f"{len(doc.get('counters', {}))} counters, "
+              f"{len(doc.get('gauges', {}))} gauges, "
+              f"{len(doc.get('histograms', {}))} histograms")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument("--metrics", help="unified metrics JSON to validate")
+    ap.add_argument("--require-span", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless a B event with NAME exists "
+                         "(repeatable)")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args()
+
+    ok = check_trace(args.trace, args.require_span, args.quiet)
+    if args.metrics:
+        ok = check_metrics(args.metrics, args.quiet) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,6 +119,18 @@ def main():
     with open(args.current) as f:
         cur = json.load(f)
 
+    # Artifacts predating the field are version 1. A mismatch means the
+    # two sides speak different schemas — comparing them silently could
+    # gate on renamed/retyped fields, so fail loudly instead.
+    base_ver = base.get("schema_version", 1)
+    cur_ver = cur.get("schema_version", 1)
+    if base_ver != cur_ver:
+        print(f"compare_bench: FAIL — schema_version mismatch: "
+              f"{args.baseline} is v{base_ver} but {args.current} is "
+              f"v{cur_ver}; regenerate the baseline with the current "
+              f"emitter (or vice versa) before gating")
+        return 1
+
     lat_failed, (lat_base, lat_cur) = gate_latency(base, cur,
                                                    args.threshold)
     hr_failed, (hr_base, hr_cur) = gate_hit_rate(base, cur)

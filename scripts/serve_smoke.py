@@ -1,17 +1,32 @@
 #!/usr/bin/env python3
 """Compile-service smoke test for CI.
 
-Replays every example kernel through `sherlockc --serve` twice in one
-session and asserts the cache actually worked:
+Replays every example kernel through `sherlockc --serve` three times in
+one session and asserts each cache level actually worked:
 
-  * every response is ok,
-  * the second pass is served from cache (hit=1 on each response, and
-    the final STATS hit rate is nonzero),
-  * each cached (second-pass) payload is byte-identical to its cold
-    (first-pass) compile — the service's core contract.
+  * pass 1 (cold): every response is ok with hit=0,
+  * pass 2 (identical source): served from the direct memo table —
+    hit=1 direct=1, payload byte-identical to the cold compile,
+  * pass 3 (same kernel with a comment appended): the direct key
+    misses but the canonical fingerprint hits — hit=1 direct=0,
+    payload still byte-identical (the service renames the cached
+    artifact, and here the interface is unchanged),
+  * the final STATS snapshot (unified MetricsRegistry schema) agrees:
+    serve.requests counts every request, serve.direct_hits > 0, and
+    the serve.hit_rate gauge is nonzero,
+  * the TRACE snapshot is well-formed Chrome trace JSON; with
+    --trace-out it must carry the serve request lifecycle spans
+    (request/parse/canonicalize/lookup/compile).
 
 Usage: serve_smoke.py [--sherlockc build/tools/sherlockc]
                       [--kernels examples/kernels] [--target 256]
+                      [--trace-out TRACE.json]
+                      [--metrics-out METRICS.json]
+
+--trace-out enables the span tracer in the daemon (the file is also
+written by sherlockc on shutdown, for check_trace.py / artifact
+upload); without it the TRACE response is still requested but is
+expected to be empty.
 """
 
 import argparse
@@ -24,13 +39,18 @@ import sys
 
 def build_script(kernels, target):
     parts = []
-    for rep in (1, 2):
+    for rep in (1, 2, 3):
         for name, source in kernels:
             parts.append(f"REQ pass{rep}-{name} lang=kernel target={target}")
-            parts.append(source.rstrip("\n"))
+            body = source.rstrip("\n")
+            if rep == 3:
+                # Different direct-memo key, same canonical form.
+                body += "\n// variant: canonical-hit probe"
+            parts.append(body)
             parts.append("END")
         parts.append("FLUSH")
     parts.append("STATS")
+    parts.append("TRACE")
     parts.append("QUIT")
     return "\n".join(parts) + "\n"
 
@@ -61,6 +81,10 @@ def main():
     ap.add_argument("--sherlockc", default="build/tools/sherlockc")
     ap.add_argument("--kernels", default="examples/kernels")
     ap.add_argument("--target", type=int, default=256)
+    ap.add_argument("--trace-out", default="",
+                    help="enable tracing; daemon writes this trace file")
+    ap.add_argument("--metrics-out", default="",
+                    help="daemon writes the unified metrics JSON here")
     args = ap.parse_args()
 
     paths = sorted(glob.glob(os.path.join(args.kernels, "*.sk")))
@@ -70,9 +94,13 @@ def main():
     kernels = [(os.path.splitext(os.path.basename(p))[0],
                 open(p).read()) for p in paths]
 
+    cmd = [args.sherlockc, "--serve"]
+    if args.trace_out:
+        cmd += ["--trace-out", args.trace_out]
+    if args.metrics_out:
+        cmd += ["--metrics-out", args.metrics_out]
     script = build_script(kernels, args.target)
-    proc = subprocess.run([args.sherlockc, "--serve"],
-                          input=script.encode(),
+    proc = subprocess.run(cmd, input=script.encode(),
                           capture_output=True, timeout=600)
     if proc.returncode != 0:
         sys.stderr.write(proc.stderr.decode())
@@ -82,10 +110,14 @@ def main():
     records = parse_responses(proc.stdout)
     resp = {}
     stats = None
+    trace = None
     failed = False
     for header, payload in records:
         if header.startswith("STATS-RESP"):
             stats = json.loads(payload.decode())
+            continue
+        if header.startswith("TRACE-RESP"):
+            trace = payload.decode()
             continue
         if not header.startswith("RESP"):
             print(f"serve_smoke: unexpected line: {header}")
@@ -103,33 +135,84 @@ def main():
 
     for name, _ in kernels:
         cold = resp.get(f"pass1-{name}")
-        cached = resp.get(f"pass2-{name}")
-        if cold is None or cached is None:
+        direct = resp.get(f"pass2-{name}")
+        canonical = resp.get(f"pass3-{name}")
+        if cold is None or direct is None or canonical is None:
             print(f"serve_smoke: missing response for {name}")
             failed = True
             continue
-        if cached[1].get("hit") != "1":
-            print(f"serve_smoke: second pass of {name} was not a cache "
-                  f"hit ({cached[1]})")
+        if cold[1].get("hit") != "0":
+            print(f"serve_smoke: first pass of {name} was not cold "
+                  f"({cold[1]})")
             failed = True
-        if cold[0] != cached[0]:
-            print(f"serve_smoke: cached payload for {name} differs from "
-                  f"cold compile ({len(cold[0])} vs {len(cached[0])} "
-                  f"bytes)")
+        if direct[1].get("hit") != "1" or direct[1].get("direct") != "1":
+            print(f"serve_smoke: second pass of {name} was not a "
+                  f"direct hit ({direct[1]})")
             failed = True
+        if canonical[1].get("hit") != "1" or \
+                canonical[1].get("direct") != "0":
+            print(f"serve_smoke: third pass of {name} (comment variant) "
+                  f"was not a canonical-level hit ({canonical[1]})")
+            failed = True
+        for label, (payload, _) in (("direct", direct),
+                                    ("canonical", canonical)):
+            if cold[0] != payload:
+                print(f"serve_smoke: {label} payload for {name} differs "
+                      f"from cold compile ({len(cold[0])} vs "
+                      f"{len(payload)} bytes)")
+                failed = True
 
     if stats is None:
         print("serve_smoke: no STATS response")
         return 1
-    if not stats.get("hit_rate", 0) > 0:
-        print(f"serve_smoke: hit rate is zero: {stats}")
+    counters = stats.get("counters", {})
+    gauges = stats.get("gauges", {})
+    want_requests = 3 * len(kernels)
+    if stats.get("schema_version") != 1:
+        print(f"serve_smoke: bad metrics schema_version: "
+              f"{stats.get('schema_version')!r}")
         failed = True
+    if counters.get("serve.requests") != want_requests:
+        print(f"serve_smoke: serve.requests = "
+              f"{counters.get('serve.requests')}, expected "
+              f"{want_requests}")
+        failed = True
+    if not counters.get("serve.direct_hits", 0) > 0:
+        print(f"serve_smoke: no direct hits recorded: {counters}")
+        failed = True
+    if not gauges.get("serve.hit_rate", 0) > 0:
+        print(f"serve_smoke: hit rate is zero: {gauges}")
+        failed = True
+
+    if trace is None:
+        print("serve_smoke: no TRACE response")
+        return 1
+    try:
+        trace_doc = json.loads(trace)
+    except json.JSONDecodeError as e:
+        print(f"serve_smoke: TRACE payload is not JSON: {e}")
+        return 1
+    events = trace_doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("serve_smoke: TRACE payload has no traceEvents")
+        failed = True
+    elif args.trace_out:
+        spans = {e.get("name") for e in events if e.get("ph") == "B"}
+        for want in ("request", "parse", "canonicalize", "lookup",
+                     "compile"):
+            if want not in spans:
+                print(f"serve_smoke: trace is missing the {want!r} "
+                      f"span (have {sorted(spans)[:20]})")
+                failed = True
+
     if failed:
         return 1
-    print(f"serve_smoke: OK — {len(kernels)} kernels x2 passes, "
-          f"hit_rate {stats['hit_rate']:.3f}, "
-          f"{stats['direct_hits']} direct hits, byte-identical "
-          f"cached vs cold")
+    n_events = len(events) if isinstance(events, list) else 0
+    print(f"serve_smoke: OK — {len(kernels)} kernels x3 passes "
+          f"(cold/direct/canonical), hit_rate "
+          f"{gauges['serve.hit_rate']:.3f}, "
+          f"{counters['serve.direct_hits']} direct hits, byte-identical "
+          f"cached vs cold, {n_events} trace events")
     return 0
 
 

@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "support/diagnostics.h"
+#include "support/trace.h"
 
 namespace sherlock::frontend {
 
@@ -40,6 +41,7 @@ std::string tokenKindName(TokenKind kind) {
 }
 
 std::vector<Token> tokenize(const std::string& source) {
+  trace::Span span("frontend", "lex");
   std::vector<Token> tokens;
   int line = 1, column = 1;
   size_t i = 0;

@@ -5,6 +5,7 @@
 
 #include "frontend/parser.h"
 #include "support/diagnostics.h"
+#include "support/trace.h"
 
 namespace sherlock::frontend {
 
@@ -230,7 +231,9 @@ class Lowering {
 }  // namespace
 
 ir::Graph compileKernel(const std::string& source) {
-  return Lowering().run(parseProgram(source));
+  std::vector<Stmt> program = parseProgram(source);
+  trace::Span span("frontend", "lower");
+  return Lowering().run(program);
 }
 
 }  // namespace sherlock::frontend

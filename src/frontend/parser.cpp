@@ -1,6 +1,7 @@
 #include "frontend/parser.h"
 
 #include "support/diagnostics.h"
+#include "support/trace.h"
 
 namespace sherlock::frontend {
 
@@ -264,6 +265,7 @@ class Parser {
 }  // namespace
 
 std::vector<Stmt> parseProgram(const std::string& source) {
+  trace::Span span("frontend", "parse");
   return Parser(tokenize(source)).parse();
 }
 

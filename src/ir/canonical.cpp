@@ -5,6 +5,7 @@
 
 #include "ir/serialize.h"
 #include "support/parallel.h"
+#include "support/trace.h"
 
 namespace sherlock::ir {
 
@@ -25,6 +26,7 @@ bool commutative(const Node& n) {
 }  // namespace
 
 CanonicalForm canonicalForm(const Graph& g) {
+  trace::Span span("ir", "canonical_form");
   const size_t n = g.numNodes();
   std::vector<uint64_t> color(n), next(n);
 

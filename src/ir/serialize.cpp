@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/diagnostics.h"
+#include "support/trace.h"
 
 namespace sherlock::ir {
 
@@ -30,6 +31,7 @@ std::string graphToText(const Graph& g) {
 }
 
 Graph graphFromText(const std::string& text) {
+  trace::Span span("ir", "parse_dag");
   Graph g;
   std::istringstream is(text);
   std::string line;

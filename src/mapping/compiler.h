@@ -12,6 +12,7 @@
 #include "mapping/naive_mapper.h"
 #include "mapping/opt_mapper.h"
 #include "mapping/program.h"
+#include "support/trace.h"
 #include "verify/verifier.h"
 
 namespace sherlock::mapping {
@@ -59,14 +60,17 @@ inline CompileResult compile(const ir::Graph& g,
                              const CompileOptions& options = {}) {
   CompileResult result;
   bool optimized = options.strategy == Strategy::Optimized;
-  if (optimized) {
-    OptMapping m = mapOptimized(g, target, options.optimizer,
-                                options.faults);
-    result.plan = std::move(m.plan);
-    result.clustering = std::move(m.clustering);
-    result.partition = std::move(m.partition);
-  } else {
-    result.plan = mapNaive(g, target, options.faults);
+  {
+    trace::Span span("mapping", "map");
+    if (optimized) {
+      OptMapping m = mapOptimized(g, target, options.optimizer,
+                                  options.faults);
+      result.plan = std::move(m.plan);
+      result.clustering = std::move(m.clustering);
+      result.partition = std::move(m.partition);
+    } else {
+      result.plan = mapNaive(g, target, options.faults);
+    }
   }
   CodegenOptions cg;
   cg.mergeInstructions = options.mergeInstructions.value_or(optimized);
@@ -74,8 +78,12 @@ inline CompileResult compile(const ir::Graph& g,
   cg.reuseMovedCopies = optimized;
   cg.waveOrder = options.waveOrder;
   cg.faults = options.faults;
-  result.program = generateCode(g, target, result.plan, cg);
+  {
+    trace::Span span("mapping", "codegen");
+    result.program = generateCode(g, target, result.plan, cg);
+  }
   if (options.verify.value_or(verify::verifyCompiledByDefault())) {
+    trace::Span span("mapping", "verify");
     verify::VerifyOptions vopts;
     vopts.faultMap = options.faults.map;
     vopts.spareRows = options.faults.spareRows;

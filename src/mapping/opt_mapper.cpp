@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "support/trace.h"
+
 namespace sherlock::mapping {
 
 OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
@@ -59,7 +61,10 @@ OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
   copt.refinePasses = options.refinePasses;
 
   OptMapping out;
-  out.clustering = findClusters(g, copt);
+  {
+    trace::Span span("mapping", "cluster");
+    out.clustering = findClusters(g, copt);
+  }
   const auto& clusters = out.clustering.clusters;
 
   // Shard the clustered DAG across the mesh (single-array fallback when
@@ -67,7 +72,10 @@ OptMapping mapOptimized(const ir::Graph& g, const isa::TargetSpec& target,
   PartitionOptions popt;
   popt.arrayColumnBudget = budget;
   popt.refinePasses = options.refinePasses;
-  out.partition = partitionClusters(g, out.clustering, target, popt);
+  {
+    trace::Span span("mapping", "partition");
+    out.partition = partitionClusters(g, out.clustering, target, popt);
+  }
 
   PlacementPlan& plan = out.plan;
   plan.opLocation.resize(g.numNodes());

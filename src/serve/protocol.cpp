@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <chrono>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -8,10 +9,13 @@
 
 #include "support/diagnostics.h"
 #include "support/parallel.h"
+#include "support/trace.h"
 
 namespace sherlock::serve {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// One queued request: either ready to compile or already failed at
 /// option parsing (error carries the diagnostic).
@@ -20,6 +24,12 @@ struct PendingRequest {
   RequestOptions options;
   std::string source;
   std::string error;
+  /// Logical trace track (assigned sequentially at REQ-parse time so
+  /// deterministic traces are independent of pool scheduling).
+  uint32_t track = 0;
+  /// When the REQ finished parsing — queue wait is measured from here
+  /// to the moment a pool thread picks the request up.
+  Clock::time_point enqueued;
 };
 
 long parseLong(const std::string& key, const std::string& value) {
@@ -72,6 +82,7 @@ void writeResponse(std::ostream& out, const std::string& id,
                    const CompileResponse& response) {
   if (response.ok) {
     out << "RESP " << id << " ok hit=" << (response.cacheHit ? 1 : 0)
+        << " direct=" << (response.direct ? 1 : 0)
         << " coalesced=" << (response.coalesced ? 1 : 0)
         << " bytes=" << response.payload.size() << " key=" << response.key
         << " compile_us=" << response.compileUs
@@ -91,11 +102,27 @@ ServeLoopResult runServeLoop(std::istream& in, std::ostream& out,
   ServeLoopResult result;
   ThreadPool pool(options.threads);
   std::vector<PendingRequest> pending;
+  // Sequential per-session trace track ids, assigned while the REQ is
+  // parsed (single-threaded), so the trace of one request is identical
+  // whatever pool thread later compiles it.
+  uint32_t nextTrack = 1;
 
   auto flush = [&] {
     if (!pending.empty()) {
       std::vector<CompileResponse> responses =
           parallelMap(pool, pending, [&](const PendingRequest& request) {
+            trace::ScopedTrack track(request.track,
+                                     strCat("req ", request.id));
+            double waitUs = std::chrono::duration<double, std::micro>(
+                                Clock::now() - request.enqueued)
+                                .count();
+            service.recordQueueWait(waitUs);
+            // Wall-clock values would break the deterministic clock's
+            // byte-stability guarantee, so they stay out of the args.
+            std::string args;
+            if (!trace::Tracer::instance().deterministic())
+              args = strCat("\"queue_wait_us\": ", waitUs);
+            trace::Span span("serve", "request", std::move(args));
             if (!request.error.empty()) {
               CompileResponse r;
               r.ok = false;
@@ -155,14 +182,21 @@ ServeLoopResult runServeLoop(std::istream& in, std::ostream& out,
       if (!terminated && request.error.empty())
         request.error = "truncated request: EOF before END";
       request.source = std::move(body);
+      request.track = nextTrack++;
+      request.enqueued = Clock::now();
       pending.push_back(std::move(request));
       if (pending.size() >= options.maxBatch) flush();
     } else if (directive == "FLUSH") {
       flush();
     } else if (directive == "STATS") {
       flush();
-      std::string json = service.stats().toJson();
+      std::string json = service.metricsJson();
       out << "STATS-RESP bytes=" << json.size() << "\n" << json;
+      out.flush();
+    } else if (directive == "TRACE") {
+      flush();
+      std::string json = trace::Tracer::instance().exportJson();
+      out << "TRACE-RESP bytes=" << json.size() << "\n" << json;
       out.flush();
     } else if (directive == "QUIT") {
       flush();

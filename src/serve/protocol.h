@@ -15,7 +15,13 @@
 //   END                          finish the request
 //   FLUSH                        compile the pending batch now and
 //                                write the responses
-//   STATS                        flush, then emit a metrics snapshot
+//   STATS                        flush, then emit the unified
+//                                MetricsRegistry snapshot (counters,
+//                                gauges, latency histograms)
+//   TRACE                        flush, then emit the recorded Chrome
+//                                trace_event JSON (requires the tracer
+//                                to be enabled, e.g. sherlockc --serve
+//                                --trace-out; empty trace otherwise)
 //   QUIT                         flush, respond, close this session
 //   SHUTDOWN                     like QUIT, but also stops a socket
 //                                server's accept loop
@@ -25,13 +31,19 @@
 // compiled concurrently on the shared PR-1 thread pool; responses are
 // written in request order regardless of completion order:
 //
-//   RESP <id> ok hit=<0|1> coalesced=<0|1> bytes=<N> key=<cache key>
-//        compile_us=<f> total_us=<f>     (one line; wrapped here)
+//   RESP <id> ok hit=<0|1> direct=<0|1> coalesced=<0|1> bytes=<N>
+//        key=<cache key> compile_us=<f> total_us=<f>  (one line)
 //   <exactly N payload bytes>
 //   RESP <id> error bytes=<N>
 //   <exactly N message bytes>
 //   STATS-RESP bytes=<N>
 //   <exactly N JSON bytes>
+//   TRACE-RESP bytes=<N>
+//   <exactly N JSON bytes>
+//
+// hit=1 direct=0 marks a canonical-level hit: the source bytes were new
+// (parse + canonicalize ran) but the canonical fingerprint matched a
+// cached program — the signature of a renamed/reformatted variant.
 //
 // Payload bytes are a per-request binding header ("# inputs: a->i0 ...")
 // followed by the cached program body; identical requests receive

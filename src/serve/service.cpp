@@ -12,6 +12,7 @@
 #include "mapping/compiler.h"
 #include "mapping/program_analysis.h"
 #include "support/diagnostics.h"
+#include "support/trace.h"
 #include "transforms/nand_lowering.h"
 #include "transforms/passes.h"
 #include "transforms/substitution.h"
@@ -154,39 +155,50 @@ CompileResponse CompileService::handle(const std::string& source,
                                        const RequestOptions& options) {
   Clock::time_point t0 = Clock::now();
   CompileResponse resp;
+  metrics_.add("serve.requests");
   std::string memoKey = directKey(source, options);
   {
+    trace::Span span("serve", "direct_probe");
     std::lock_guard<std::mutex> lock(mu_);
-    ++counters_.requests;
     // Direct mode: an exact repeat of a completed request skips parse
     // and canonicalization and returns the pinned payload verbatim.
     if (DirectEntry* memo = direct_.get(memoKey)) {
-      ++counters_.hits;
-      ++counters_.directHits;
       resp.ok = true;
       resp.cacheHit = true;
       resp.direct = true;
       resp.key = memo->key;
       resp.payload = *memo->payload;
       resp.totalUs = usSince(t0);
-      hitUs_.record(resp.totalUs);
+      metrics_.add("serve.hits");
+      metrics_.add("serve.direct_hits");
+      metrics_.observe("serve.hit_us", resp.totalUs);
+      if (trace::Tracer::instance().enabled())
+        trace::Tracer::instance().instant("serve", "direct_hit");
       return resp;
     }
   }
   try {
     ir::Graph g;
-    if (options.lang == "kernel") {
-      g = frontend::compileKernel(source);
-    } else if (options.lang == "dag") {
-      g = ir::graphFromText(source);
-    } else {
-      throw Error(strCat("unknown lang '", options.lang, "'"));
+    {
+      trace::Span span("serve", "parse");
+      if (options.lang == "kernel") {
+        g = frontend::compileKernel(source);
+      } else if (options.lang == "dag") {
+        g = ir::graphFromText(source);
+      } else {
+        throw Error(strCat("unknown lang '", options.lang, "'"));
+      }
     }
-    g = transforms::canonicalize(g);
-    if (options.aggressive) g = transforms::optimize(g);
-    if (options.nandLower)
-      g = transforms::canonicalize(transforms::lowerToNand(g));
-    ir::CanonicalForm canonical = ir::canonicalForm(g);
+    std::optional<ir::CanonicalForm> canonicalOpt;
+    {
+      trace::Span span("serve", "canonicalize");
+      g = transforms::canonicalize(g);
+      if (options.aggressive) g = transforms::optimize(g);
+      if (options.nandLower)
+        g = transforms::canonicalize(transforms::lowerToNand(g));
+      canonicalOpt.emplace(ir::canonicalForm(g));
+    }
+    ir::CanonicalForm& canonical = *canonicalOpt;
     resp.key = cacheKey(canonical.fingerprint(), options);
 
     // Per-request binding header: the cached body names inputs by
@@ -202,11 +214,14 @@ CompileResponse CompileService::handle(const std::string& source,
     std::promise<std::shared_ptr<const std::string>> promise;
     std::shared_future<std::shared_ptr<const std::string>> pending;
     {
+      trace::Span span("serve", "lookup");
       std::lock_guard<std::mutex> lock(mu_);
       if (std::shared_ptr<const std::string>* hit = cache_.get(resp.key)) {
         body = *hit;
-        ++counters_.hits;
+        metrics_.add("serve.hits");
         resp.cacheHit = true;
+        if (trace::Tracer::instance().enabled())
+          trace::Tracer::instance().instant("serve", "canonical_hit");
       } else if (auto it = inflight_.find(resp.key);
                  it != inflight_.end()) {
         pending = it->second.future;
@@ -221,6 +236,7 @@ CompileResponse CompileService::handle(const std::string& source,
       if (options_.onColdCompile) options_.onColdCompile(resp.key);
       Clock::time_point c0 = Clock::now();
       try {
+        trace::Span span("serve", "compile");
         body = std::make_shared<const std::string>(
             compileBody(CanonicalRequest{canonical.graph, options}));
         resp.compileUs = usSince(c0);
@@ -238,16 +254,15 @@ CompileResponse CompileService::handle(const std::string& source,
       {
         std::lock_guard<std::mutex> lock(mu_);
         cache_.put(resp.key, body);
-        counters_.evictions = cache_.evictions();
-        ++counters_.misses;
         inflight_.erase(resp.key);
-        coldUs_.record(resp.compileUs);
       }
+      metrics_.add("serve.misses");
+      metrics_.observe("serve.cold_us", resp.compileUs);
       promise.set_value(body);
     } else if (!resp.cacheHit) {
+      trace::Span span("serve", "singleflight_wait");
       body = pending.get();  // rethrows the builder's failure
-      std::lock_guard<std::mutex> lock(mu_);
-      ++counters_.coalesced;
+      metrics_.add("serve.coalesced");
       resp.coalesced = true;
     }
 
@@ -259,30 +274,65 @@ CompileResponse CompileService::handle(const std::string& source,
     {
       std::lock_guard<std::mutex> lock(mu_);
       direct_.put(memoKey, DirectEntry{std::move(full), resp.key});
-      if (resp.cacheHit) hitUs_.record(resp.totalUs);
     }
+    if (resp.cacheHit) metrics_.observe("serve.hit_us", resp.totalUs);
   } catch (const std::exception& e) {
     resp.ok = false;
     resp.payload = strCat("error: ", e.what(), "\n");
     resp.totalUs = usSince(t0);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++counters_.errors;
+    metrics_.add("serve.errors");
   }
   return resp;
+}
+
+void CompileService::recordQueueWait(double us) {
+  metrics_.observe("serve.queue_wait_us", us);
+}
+
+void CompileService::publishGaugesLocked() const {
+  uint64_t hits = metrics_.counterValue("serve.hits");
+  uint64_t misses = metrics_.counterValue("serve.misses");
+  uint64_t coalesced = metrics_.counterValue("serve.coalesced");
+  uint64_t served = hits + misses + coalesced;
+  metrics_.setGauge("serve.hit_rate",
+                    served == 0 ? 0.0
+                                : static_cast<double>(hits + coalesced) /
+                                      static_cast<double>(served));
+  metrics_.setGauge("serve.cache_size",
+                    static_cast<double>(cache_.size()));
+  metrics_.setGauge("serve.cache_capacity",
+                    static_cast<double>(cache_.capacity()));
+  metrics_.setGauge("serve.evictions",
+                    static_cast<double>(cache_.evictions()));
+}
+
+std::string CompileService::metricsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  publishGaugesLocked();
+  return metrics_.toJson();
 }
 
 ServiceStats CompileService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats s;
-  s.counters = counters_;
+  s.counters.requests = metrics_.counterValue("serve.requests");
+  s.counters.hits = metrics_.counterValue("serve.hits");
+  s.counters.directHits = metrics_.counterValue("serve.direct_hits");
+  s.counters.misses = metrics_.counterValue("serve.misses");
+  s.counters.coalesced = metrics_.counterValue("serve.coalesced");
+  s.counters.errors = metrics_.counterValue("serve.errors");
+  s.counters.evictions = cache_.evictions();
   s.cacheSize = cache_.size();
   s.cacheCapacity = cache_.capacity();
-  s.hitP50Us = hitUs_.percentile(50);
-  s.hitP99Us = hitUs_.percentile(99);
-  s.hitMeanUs = hitUs_.mean();
-  s.coldP50Us = coldUs_.percentile(50);
-  s.coldP99Us = coldUs_.percentile(99);
-  s.coldMeanUs = coldUs_.mean();
+  MetricsRegistry::HistogramSnapshot hit = metrics_.histogram("serve.hit_us");
+  MetricsRegistry::HistogramSnapshot cold =
+      metrics_.histogram("serve.cold_us");
+  s.hitP50Us = hit.p50;
+  s.hitP99Us = hit.p99;
+  s.hitMeanUs = hit.mean;
+  s.coldP50Us = cold.p50;
+  s.coldP99Us = cold.p99;
+  s.coldMeanUs = cold.mean;
   return s;
 }
 

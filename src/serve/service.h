@@ -87,7 +87,8 @@ struct CompileResponse {
   double compileUs = 0;     ///< cold-compile portion (0 on hit)
 };
 
-/// Snapshot of the service counters + latency percentiles.
+/// Snapshot of the service counters + latency percentiles, rebuilt from
+/// the MetricsRegistry for struct-typed consumers (tests, benches).
 struct ServiceStats {
   CacheCounters counters;
   size_t cacheSize = 0;
@@ -96,8 +97,9 @@ struct ServiceStats {
   double coldP50Us = 0, coldP99Us = 0;
   double hitMeanUs = 0, coldMeanUs = 0;
 
-  /// Flat JSON object (the artifact sherlockc --serve dumps on
-  /// shutdown and the STATS protocol command returns).
+  /// Legacy flat JSON object. The serve protocol's STATS verb and
+  /// sherlockc --metrics-out emit CompileService::metricsJson() (the
+  /// unified MetricsRegistry schema) instead.
   std::string toJson() const;
 };
 
@@ -111,6 +113,16 @@ class CompileService {
                          const RequestOptions& options);
 
   ServiceStats stats() const;
+
+  /// Records how long a request sat queued before handle() ran (the
+  /// serve loop measures REQ-parse to dispatch) into the
+  /// "serve.queue_wait_us" histogram.
+  void recordQueueWait(double us);
+
+  /// Unified MetricsRegistry JSON (counters "serve.*", gauges, and the
+  /// hit/cold/queue-wait histograms) — the STATS verb response and the
+  /// sherlockc --serve --metrics-out artifact.
+  std::string metricsJson() const;
 
   /// The cache key handle() would use, exposed for key tests.
   static std::string cacheKey(const std::string& fingerprint,
@@ -136,13 +148,18 @@ class CompileService {
   /// Compiles the canonical graph into the cacheable body text.
   std::string compileBody(const struct CanonicalRequest& request) const;
 
+  /// Publishes the derived gauges (hit rate, cache occupancy) into the
+  /// registry; callers hold mu_.
+  void publishGaugesLocked() const;
+
   ServiceOptions options_;
   mutable std::mutex mu_;
   LruCache<std::string, DirectEntry> direct_;
   LruCache<std::string, std::shared_ptr<const std::string>> cache_;
   std::unordered_map<std::string, Inflight> inflight_;
-  CacheCounters counters_;
-  PercentileTracker hitUs_, coldUs_;
+  /// Single store for every service counter/gauge/histogram; thread-safe
+  /// on its own lock (safe to touch with or without mu_ held).
+  mutable MetricsRegistry metrics_;
 };
 
 }  // namespace sherlock::serve

@@ -11,6 +11,7 @@
 #include "ir/evaluator.h"
 #include "support/diagnostics.h"
 #include "support/rng.h"
+#include "support/trace.h"
 #include "verify/verifier.h"
 
 namespace sherlock::sim {
@@ -123,6 +124,18 @@ long SimResult::corruptedLanes() const {
   return n;
 }
 
+const char* opClassName(int opClass) {
+  switch (opClass) {
+    case SimResult::OpCimRead: return "cim_read";
+    case SimResult::OpPlainRead: return "plain_read";
+    case SimResult::OpWrite: return "write";
+    case SimResult::OpShift: return "shift";
+    case SimResult::OpMove: return "move";
+    case SimResult::OpXfer: return "xfer";
+    default: return "unknown";
+  }
+}
+
 uint64_t defaultInputWord(const std::string& name, uint64_t seed,
                           int wordIndex) {
   checkArg(wordIndex >= 0, "wordIndex must be >= 0");
@@ -137,6 +150,7 @@ uint64_t defaultInputWord(const std::string& name, uint64_t seed,
 SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
                    const mapping::Program& program,
                    const SimOptions& options) {
+  trace::Span simSpan("sim", "simulate");
   checkArg(options.laneWords >= 1 && options.laneWords <= 4096,
            "laneWords must be in [1, 4096]");
   const size_t W = static_cast<size_t>(options.laneWords);
@@ -259,8 +273,15 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
   // genuinely shared links queue.
   double busFreeNs = 0.0;
   std::vector<double> linkFreeNs;
-  if (target.grid.configured())
+  // Per-directed-link occupancy rollup (SimResult::linkStats), kept in
+  // flat arrays parallel to linkFreeNs so claim() stays branch-free.
+  std::vector<double> linkBusyNs;
+  std::vector<long> linkTransfers;
+  if (target.grid.configured()) {
     linkFreeNs.assign(static_cast<size_t>(target.grid.cells()) * 4, 0.0);
+    linkBusyNs.assign(linkFreeNs.size(), 0.0);
+    linkTransfers.assign(linkFreeNs.size(), 0);
+  }
   // Per-hop transfer cost; the GridConfig defaults reproduce the
   // pre-grid flat bus (10 ns / 0.5 pJ-per-bit, one hop per transfer).
   const double hopLatencyNs = target.grid.hopLatencyNs;
@@ -297,6 +318,8 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
       t = s + hopLatencyNs;
       linkFreeNs[link] = t;
       result.busBusyNs += hopLatencyNs;
+      linkBusyNs[link] += hopLatencyNs;
+      linkTransfers[link]++;
     };
     while (c != c2) {
       claim(c2 > c ? 0 : 1);
@@ -329,11 +352,29 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
   const std::vector<uint64_t> onesW(W, ~uint64_t{0});
   const std::vector<uint64_t> zerosW(W, 0);
 
+  trace::Tracer& tracer = trace::Tracer::instance();
   for (size_t idx = 0; idx < program.instructions.size(); ++idx) {
     const Instruction& inst = program.instructions[idx];
     isa::validateInstruction(inst, target.numArrays, rows, cols);
     ArrayState& arr = arrayAt(inst.arrayId);
     const FaultMasks* fm = fmap ? &masksAt(inst.arrayId) : nullptr;
+
+    // Per-opcode-class attribution: everything this instruction adds to
+    // `now` (dispatch, stalls, execution) and to the energy total is
+    // charged to its class rollup after the switch.
+    const double instStartNs = now;
+    const double instStartPj = result.energyPj;
+    int opClass;
+    switch (inst.kind) {
+      case InstKind::Read:
+        opClass = inst.colOps.empty() ? SimResult::OpPlainRead
+                                      : SimResult::OpCimRead;
+        break;
+      case InstKind::Write: opClass = SimResult::OpWrite; break;
+      case InstKind::Shift: opClass = SimResult::OpShift; break;
+      case InstKind::Move: opClass = SimResult::OpMove; break;
+      default: opClass = SimResult::OpXfer; break;
+    }
 
     now += cost.dispatchLatencyNs();
     result.energyPj += cost.dispatchEnergyPj();
@@ -405,6 +446,10 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
           while (!agree && tries < options.retryBudget) {
             ++tries;
             result.retriedOps++;
+            if (tracer.enabled())
+              tracer.instant("sim", "guarded_retry",
+                             strCat("\"instruction\": ", idx,
+                                    ", \"try\": ", tries));
             std::copy_n(truthW, W, value);
             inject(value, effPdf);
             std::copy_n(truthW, W, check.data());
@@ -477,6 +522,10 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
             auto degradeSense = [&](uint64_t* dst) {
               result.degradedOps++;
               ++degradedCols;
+              if (tracer.enabled())
+                tracer.instant("sim", "degrade",
+                               strCat("\"instruction\": ", idx,
+                                      ", \"column\": ", c));
               double pPlain = pdfOf(device::SenseKind::PlainRead, 1);
               size_t nOps = inst.rows.size();
               splitWords.resize(nOps * W);
@@ -580,6 +629,11 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
           long count = mutableMap->noteRowWrite(inst.arrayId, row);
           if (count == mutableMap->options().rowWriteBudget + 1) {
             result.wornRows++;
+            if (tracer.enabled())
+              tracer.instant("sim", "wear_out",
+                             strCat("\"instruction\": ", idx,
+                                    ", \"array\": ", inst.arrayId,
+                                    ", \"row\": ", row));
             auto& slot = faultMasks[static_cast<size_t>(inst.arrayId)];
             if (slot) slot->refreshRow(*fmap, inst.arrayId, row);
           }
@@ -718,6 +772,10 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
                    tries < options.retryBudget) {
               ++tries;
               result.retriedOps++;
+              if (tracer.enabled())
+                tracer.instant("sim", "guarded_retry",
+                               strCat("\"instruction\": ", idx,
+                                      ", \"try\": ", tries));
               std::copy_n(truth.data(), W, value);
               inject(value, effPdf);
               std::copy_n(truth.data(), W, check.data());
@@ -744,6 +802,11 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
           long count = mutableMap->noteRowWrite(inst.dstArray, inst.dstRow);
           if (count == mutableMap->options().rowWriteBudget + 1) {
             result.wornRows++;
+            if (tracer.enabled())
+              tracer.instant("sim", "wear_out",
+                             strCat("\"instruction\": ", idx,
+                                    ", \"array\": ", inst.dstArray,
+                                    ", \"row\": ", inst.dstRow));
             auto& slot = faultMasks[static_cast<size_t>(inst.dstArray)];
             if (slot) slot->refreshRow(*fmap, inst.dstArray, inst.dstRow);
           }
@@ -766,6 +829,37 @@ SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
         result.energyPj += cost.writeEnergyPj(1);
         break;
       }
+    }
+
+    SimResult::OpcodeRollup& roll =
+        result.opcodeRollups[static_cast<size_t>(opClass)];
+    roll.count++;
+    roll.latencyNs += now - instStartNs;
+    roll.energyPj += result.energyPj - instStartPj;
+
+    // Periodic time series (every 256 instructions) so long runs plot
+    // latency/energy progression without per-instruction event volume.
+    if (tracer.enabled() && (idx & 255) == 0) {
+      tracer.counter("sim", "sim_latency_ns", now);
+      tracer.counter("sim", "sim_energy_pj", result.energyPj);
+    }
+  }
+
+  if (!linkTransfers.empty()) {
+    const int C = target.grid.cols;
+    for (size_t link = 0; link < linkTransfers.size(); ++link) {
+      if (linkTransfers[link] == 0) continue;
+      const int cell = static_cast<int>(link / 4);
+      const int dir = static_cast<int>(link % 4);
+      int r2 = cell / C, c2 = cell % C;
+      // Link direction encoding mirrors routeBit's claim(): 0 = +col,
+      // 1 = -col, 2 = +row, 3 = -row.
+      if (dir == 0) ++c2;
+      else if (dir == 1) --c2;
+      else if (dir == 2) ++r2;
+      else --r2;
+      result.linkStats.push_back(
+          {cell, r2 * C + c2, linkBusyNs[link], linkTransfers[link]});
     }
   }
 

@@ -21,6 +21,7 @@
 //    decision-failure probability into P_app = 1 - prod(1 - P_DFi).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -134,6 +135,39 @@ struct SimResult {
   double busBusyNs = 0;
   double busWaitNs = 0;
 
+  /// Per-opcode-class attribution: foreground time (dispatch + stalls +
+  /// execution advance of `now`) and energy accumulated by each
+  /// instruction class. Indexed by OpClass; latencies sum to latencyNs
+  /// and energies to energyPj (xfer background completion is charged to
+  /// the issuing xfer).
+  enum OpClass : int {
+    OpCimRead = 0,
+    OpPlainRead,
+    OpWrite,
+    OpShift,
+    OpMove,
+    OpXfer,
+    kOpClassCount,
+  };
+  struct OpcodeRollup {
+    long count = 0;
+    double latencyNs = 0;
+    double energyPj = 0;
+  };
+  std::array<OpcodeRollup, kOpClassCount> opcodeRollups{};
+
+  /// Mesh per-directed-link occupancy (configured grids only): one
+  /// entry per link that carried at least one hop, in link-index order.
+  /// Explains *where* bus time went on a mesh — a single saturated link
+  /// with everything else idle reads very differently from uniform load.
+  struct LinkStats {
+    int fromArray = 0;
+    int toArray = 0;
+    double busyNs = 0;   ///< time this link spent carrying bits
+    long transfers = 0;  ///< hop claims routed through this link
+  };
+  std::vector<LinkStats> linkStats;
+
   /// Outcome of the output comparison (options.verify): true iff every
   /// output lane matched the reference evaluator. Under injectFaults or a
   /// fault map, mismatches are recorded in corruptedLaneWords and
@@ -172,6 +206,10 @@ struct SimResult {
 SimResult simulate(const ir::Graph& g, const isa::TargetSpec& target,
                    const mapping::Program& program,
                    const SimOptions& options = {});
+
+/// Human-readable name of a SimResult::OpClass index ("cim_read",
+/// "plain_read", "write", "shift", "move", "xfer").
+const char* opClassName(int opClass);
 
 /// Deterministic input word for lane word `wordIndex` of a named input
 /// (shared by the simulator and tests so both sides agree on unspecified

@@ -1,0 +1,134 @@
+#include "support/metrics.h"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace sherlock {
+
+namespace {
+
+/// Numbers in metrics dumps round-trip (max_digits10) but integral
+/// values print bare so counters stay readable.
+void writeNumber(std::ostream& out, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    out << static_cast<long long>(v);
+  } else {
+    out << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << v;
+  }
+}
+
+void writeKey(std::ostream& out, const std::string& key) {
+  out << '"';
+  for (char c : key) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << "\": ";
+}
+
+}  // namespace
+
+void MetricsRegistry::add(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::setGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].record(value);
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+MetricsRegistry::HistogramSnapshot MetricsRegistry::histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot s;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) return s;
+  const PercentileTracker& t = it->second;
+  s.count = t.count();
+  s.mean = t.mean();
+  s.min = t.min();
+  s.max = t.max();
+  s.p50 = t.percentile(50);
+  s.p95 = t.percentile(95);
+  s.p99 = t.percentile(99);
+  return s;
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": 1,\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    writeKey(out, name);
+    out << value;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    writeKey(out, name);
+    writeNumber(out, value);
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, tracker] : histograms_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    writeKey(out, name);
+    out << "{\"count\": " << tracker.count() << ", \"mean\": ";
+    writeNumber(out, tracker.mean());
+    out << ", \"min\": ";
+    writeNumber(out, tracker.min());
+    out << ", \"max\": ";
+    writeNumber(out, tracker.max());
+    out << ", \"p50\": ";
+    writeNumber(out, tracker.percentile(50));
+    out << ", \"p95\": ";
+    writeNumber(out, tracker.percentile(95));
+    out << ", \"p99\": ";
+    writeNumber(out, tracker.percentile(99));
+    out << "}";
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace sherlock

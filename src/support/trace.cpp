@@ -1,0 +1,285 @@
+#include "support/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace sherlock::trace {
+
+namespace {
+
+/// Implicit per-thread tracks live far above any explicit work-item id.
+constexpr uint32_t kImplicitTrackBase = 1u << 30;
+
+/// Per-thread buffer cap: a long-running daemon keeps at most this many
+/// events per thread (further events are dropped and counted).
+constexpr size_t kMaxEventsPerThread = 1u << 20;
+
+double nowSteadyNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void appendEscaped(std::ostream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+/// Chrome-trace timestamps are microseconds. The deterministic virtual
+/// clock counts ticks, emitted 1 tick = 1 us so traces stay integral.
+void writeTs(std::ostream& out, double ts, bool deterministic) {
+  if (deterministic) {
+    out << static_cast<long long>(ts);
+  } else {
+    out << std::fixed << std::setprecision(3) << ts / 1000.0
+        << std::defaultfloat;
+  }
+}
+
+}  // namespace
+
+struct Tracer::ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // guarded by mu
+  uint32_t track;                  // current logical track (owner thread)
+  uint64_t tick = 0;               // deterministic clock of this track
+};
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // leaked: alive for exit paths
+  return *tracer;
+}
+
+void Tracer::enable() {
+  if (enabled()) return;
+  const char* det = std::getenv("SHERLOCK_TRACE_DETERMINISTIC");
+  deterministic_ = det != nullptr && det[0] == '1';
+  startNs_ = nowSteadyNs();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+Tracer::ThreadBuffer& Tracer::buffer() {
+  thread_local ThreadBuffer* tls = nullptr;
+  if (tls == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    tls = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    tls->track =
+        kImplicitTrackBase + static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(std::move(owned));
+  }
+  return *tls;
+}
+
+void Tracer::record(TraceEvent event) {
+  ThreadBuffer& buf = buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  event.track = buf.track;
+  event.ts = deterministic_ ? static_cast<double>(buf.tick++)
+                            : nowSteadyNs() - startNs_;
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(std::move(event));
+}
+
+void Tracer::begin(const char* category, std::string name,
+                   std::string args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::Begin;
+  e.category = category;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  record(std::move(e));
+}
+
+void Tracer::end() {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::End;
+  record(std::move(e));
+}
+
+void Tracer::instant(const char* category, std::string name,
+                     std::string args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::Instant;
+  e.category = category;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  record(std::move(e));
+}
+
+void Tracer::counter(const char* category, std::string name,
+                     double value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::Counter;
+  e.category = category;
+  e.name = std::move(name);
+  e.value = value;
+  record(std::move(e));
+}
+
+void Tracer::setTrackName(uint32_t track, const std::string& name) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : trackNames_)
+    if (entry.first == track) {
+      entry.second = name;
+      return;
+    }
+  trackNames_.emplace_back(track, name);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> bufLock(buf->mu);
+      merged.insert(merged.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  // Deterministic traces order by (track, tick): ticks are unique per
+  // track, so the merged stream is a pure function of per-track work.
+  // Real traces order by timestamp; stable_sort keeps each thread's
+  // emission order for equal stamps.
+  if (deterministic_) {
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.track != b.track ? a.track < b.track
+                                                 : a.ts < b.ts;
+                     });
+  } else {
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.ts < b.ts;
+                     });
+  }
+  return merged;
+}
+
+std::string Tracer::exportJson() const {
+  std::vector<TraceEvent> events = snapshot();
+  std::vector<std::pair<uint32_t, std::string>> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names = trackNames_;
+  }
+  std::sort(names.begin(), names.end());
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  auto comma = [&] {
+    out << (first ? "\n" : ",\n");
+    first = false;
+  };
+  for (const auto& [track, name] : names) {
+    comma();
+    out << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": "
+        << track << ", \"args\": {\"name\": \"";
+    appendEscaped(out, name);
+    out << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    comma();
+    out << "{\"ph\": \"";
+    switch (e.phase) {
+      case TraceEvent::Phase::Begin: out << 'B'; break;
+      case TraceEvent::Phase::End: out << 'E'; break;
+      case TraceEvent::Phase::Instant: out << 'i'; break;
+      case TraceEvent::Phase::Counter: out << 'C'; break;
+    }
+    out << "\", \"pid\": 1, \"tid\": " << e.track << ", \"ts\": ";
+    writeTs(out, e.ts, deterministic_);
+    if (e.phase != TraceEvent::Phase::End) {
+      out << ", \"name\": \"";
+      appendEscaped(out, e.name);
+      out << "\", \"cat\": \"";
+      appendEscaped(out, e.category);
+      out << "\"";
+    }
+    if (e.phase == TraceEvent::Phase::Instant) out << ", \"s\": \"t\"";
+    if (e.phase == TraceEvent::Phase::Counter) {
+      std::ostringstream v;
+      v << std::setprecision(15) << e.value;
+      out << ", \"args\": {\"value\": " << v.str() << "}";
+    } else if (!e.args.empty()) {
+      out << ", \"args\": {" << e.args << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+void Tracer::writeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error(strCat("cannot write trace to ", path));
+  out << exportJson();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> bufLock(buf->mu);
+    buf->events.clear();
+    buf->tick = 0;
+  }
+  trackNames_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  startNs_ = nowSteadyNs();
+}
+
+ScopedTrack::ScopedTrack(uint32_t track, const std::string& name) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  active_ = true;
+  Tracer::ThreadBuffer& buf = t.buffer();
+  {
+    std::lock_guard<std::mutex> lock(buf.mu);
+    savedTrack_ = buf.track;
+    savedTick_ = buf.tick;
+    buf.track = track;
+    buf.tick = 0;
+  }
+  if (!name.empty()) t.setTrackName(track, name);
+}
+
+ScopedTrack::~ScopedTrack() {
+  if (!active_) return;
+  Tracer& t = Tracer::instance();
+  Tracer::ThreadBuffer& buf = t.buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.track = savedTrack_;
+  buf.tick = savedTick_;
+}
+
+}  // namespace sherlock::trace

@@ -1,0 +1,158 @@
+// Process-wide span tracer for the compile pipeline, the serve daemon,
+// and the simulator.
+//
+// Design:
+//  * Near-zero cost when disabled: every emission site checks one
+//    relaxed atomic load and returns. The tracer ships disabled; the
+//    entry points that want traces (sherlockc --trace-out, --serve)
+//    enable it explicitly.
+//  * Thread-safe via per-thread buffers: each thread appends to its own
+//    buffer under an uncontended mutex; snapshot()/exportJson() drain
+//    all buffers under the registry lock and merge them into one stably
+//    ordered stream. Buffers are bounded (kMaxEventsPerThread); events
+//    beyond the cap are counted in droppedEvents() instead of growing
+//    without bound in a long-running daemon.
+//  * Two clocks. The real clock is steady_clock nanoseconds since
+//    enable(). Under SHERLOCK_TRACE_DETERMINISTIC=1 a virtual clock is
+//    used instead: each (thread, track) keeps a tick counter and every
+//    event stamps the next tick, so a trace is a pure function of the
+//    work performed per track — byte-stable across runs and across
+//    thread counts (the CI determinism diff compares --jobs 1 vs 8).
+//  * Logical tracks. Work items that migrate across pool threads
+//    (sherlockc batch files, serve requests) enter a ScopedTrack; all
+//    events emitted inside it carry that track id, which becomes the
+//    Chrome-trace tid. Events outside any track land on an implicit
+//    per-thread track. Deterministic traces require every parallel
+//    region to run inside explicit tracks (per-thread implicit ids
+//    depend on scheduling).
+//
+// Exported as Chrome trace_event JSON ("traceEvents" array of B/E/i/C/M
+// phases), loadable in Perfetto or chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sherlock::trace {
+
+struct TraceEvent {
+  enum class Phase : uint8_t { Begin, End, Instant, Counter };
+  Phase phase = Phase::Instant;
+  const char* category = "";  ///< static-storage string (span category)
+  std::string name;           ///< empty for End events (pairs by nesting)
+  double ts = 0;              ///< ns since enable(), or virtual ticks
+  uint32_t track = 0;         ///< Chrome-trace tid
+  double value = 0;           ///< Counter events: the sampled value
+  std::string args;           ///< extra JSON object fields, pre-escaped
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Starts recording. Reads SHERLOCK_TRACE_DETERMINISTIC (=1 switches
+  /// to the virtual clock) at this point. Idempotent.
+  void enable();
+  void disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  bool deterministic() const { return deterministic_; }
+
+  /// Span boundaries. A Begin/End pair must be emitted by one thread in
+  /// one track (use the RAII Span). No-ops while disabled.
+  void begin(const char* category, std::string name,
+             std::string args = {});
+  void end();
+
+  /// A point event (Chrome "i" phase). `args` is an optional list of
+  /// extra JSON object members, e.g. "\"instruction\": 12".
+  void instant(const char* category, std::string name,
+               std::string args = {});
+
+  /// A counter sample (Chrome "C" phase), plotted as a time series.
+  void counter(const char* category, std::string name, double value);
+
+  /// Names a logical track (exported as thread_name metadata).
+  void setTrackName(uint32_t track, const std::string& name);
+
+  /// All recorded events, merged across threads and stably ordered:
+  /// by (track, ts) under the deterministic clock, by ts otherwise.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string exportJson() const;
+  void writeJson(const std::string& path) const;
+
+  /// Events discarded because a thread buffer hit its cap.
+  uint64_t droppedEvents() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Discards all recorded events and resets the clocks. Callers must
+  /// ensure no thread is concurrently emitting.
+  void clear();
+
+  struct ThreadBuffer;
+
+ private:
+  Tracer() = default;
+  ThreadBuffer& buffer();
+  void record(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  bool deterministic_ = false;
+  std::atomic<uint64_t> dropped_{0};
+  double startNs_ = 0;  ///< steady_clock origin of the real clock
+
+  mutable std::mutex mu_;  ///< guards buffers_, trackNames_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::pair<uint32_t, std::string>> trackNames_;
+
+  friend class ScopedTrack;
+};
+
+/// RAII span: begin on construction, end on destruction. Inactive (and
+/// free apart from one atomic load) while the tracer is disabled.
+class Span {
+ public:
+  Span(const char* category, std::string name, std::string args = {})
+      : active_(Tracer::instance().enabled()) {
+    if (active_)
+      Tracer::instance().begin(category, std::move(name),
+                               std::move(args));
+  }
+  ~Span() {
+    if (active_) Tracer::instance().end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_;
+};
+
+/// Enters a logical track for the current thread (restores the previous
+/// track on destruction). Under the deterministic clock the track's
+/// tick counter starts at zero, so the events of one work item are
+/// identical no matter which pool thread runs it. Track ids must be
+/// unique per work item (they are the Chrome-trace tid); ids >= 2^30
+/// are reserved for implicit per-thread tracks.
+class ScopedTrack {
+ public:
+  ScopedTrack(uint32_t track, const std::string& name = {});
+  ~ScopedTrack();
+  ScopedTrack(const ScopedTrack&) = delete;
+  ScopedTrack& operator=(const ScopedTrack&) = delete;
+
+ private:
+  bool active_ = false;
+  uint32_t savedTrack_ = 0;
+  uint64_t savedTick_ = 0;
+};
+
+}  // namespace sherlock::trace

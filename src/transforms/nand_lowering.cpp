@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "support/trace.h"
 #include "transforms/rewriter.h"
 
 namespace sherlock::transforms {
@@ -39,6 +40,7 @@ NodeId emitXorTree(Graph& dest, std::vector<NodeId> xs, bool inverted) {
 }  // namespace
 
 Graph lowerToNand(const Graph& g) {
+  trace::Span span("transforms", "nand_lowering");
   Rewriter rw(g);
   Graph& dest = rw.dest();
 

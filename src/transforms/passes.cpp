@@ -6,6 +6,7 @@
 #include <tuple>
 #include <vector>
 
+#include "support/trace.h"
 #include "transforms/rewriter.h"
 
 namespace sherlock::transforms {
@@ -16,6 +17,7 @@ using ir::NodeId;
 using ir::OpKind;
 
 Graph eliminateDeadNodes(const Graph& g) {
+  trace::Span span("transforms", "dce");
   std::vector<bool> live(g.numNodes(), false);
   std::vector<NodeId> stack(g.outputs().begin(), g.outputs().end());
   while (!stack.empty()) {
@@ -48,6 +50,7 @@ CseKey makeKey(OpKind op, std::vector<NodeId> operands) {
 }  // namespace
 
 Graph eliminateCommonSubexpressions(const Graph& g) {
+  trace::Span span("transforms", "cse");
   Rewriter rw(g);
   std::map<CseKey, NodeId> seen;
   for (NodeId i = g.firstId(); i < g.endId(); ++i) {
@@ -87,6 +90,7 @@ std::pair<OpKind, bool> splitInversion(OpKind op) {
 }  // namespace
 
 Graph foldConstants(const Graph& g) {
+  trace::Span span("transforms", "fold_constants");
   Rewriter rw(g);
   Graph& dest = rw.dest();
 
@@ -193,6 +197,7 @@ Graph foldConstants(const Graph& g) {
 }
 
 Graph canonicalize(const Graph& g) {
+  trace::Span span("transforms", "canonicalize");
   // CSE can reveal new folding opportunities (merged operands become
   // duplicates), so fold runs on both sides of it.
   return eliminateDeadNodes(
@@ -228,6 +233,7 @@ std::optional<OpKind> deMorganDual(OpKind op) {
 }  // namespace
 
 Graph foldInverters(const Graph& g) {
+  trace::Span span("transforms", "fold_inverters");
   Rewriter rw(g);
   Graph& dest = rw.dest();
 
@@ -312,6 +318,7 @@ Graph foldInverters(const Graph& g) {
 }
 
 Graph optimize(const Graph& g) {
+  trace::Span span("transforms", "optimize");
   return canonicalize(foldInverters(canonicalize(g)));
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ir/analysis.h"
+#include "support/trace.h"
 #include "transforms/rewriter.h"
 
 namespace sherlock::transforms {
@@ -90,6 +91,7 @@ struct Candidate {
 
 SubstitutionResult substituteNodes(const Graph& g,
                                    const SubstitutionOptions& options) {
+  trace::Span span("transforms", "substitution");
   checkArg(options.maxOperands >= 2, "maxOperands must be >= 2");
   checkArg(options.fraction >= 0.0 && options.fraction <= 1.0,
            "fraction must be in [0, 1]");

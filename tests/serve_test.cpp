@@ -293,7 +293,9 @@ TEST(ServeProtocol, BatchSessionHitsAndByteIdenticalPayloads) {
   EXPECT_NE(out.find("RESP two ok hit=1"), std::string::npos) << out;
   EXPECT_EQ(payloadOf(out, "one"), payloadOf(out, "two"));
   EXPECT_NE(out.find("STATS-RESP bytes="), std::string::npos);
-  EXPECT_NE(out.find("\"hits\": 1"), std::string::npos) << out;
+  // STATS speaks the unified MetricsRegistry schema.
+  EXPECT_NE(out.find("\"schema_version\": 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"serve.hits\": 1"), std::string::npos) << out;
 }
 
 TEST(ServeProtocol, PerRequestOptionsAndErrors) {

@@ -1,0 +1,235 @@
+// Observability-layer tests: span tracer (support/trace.h) and unified
+// metrics (support/metrics.h).
+//
+// The tracer is process-global, so every test enables it, drains with
+// clear(), and disables on exit (TraceFixture). The deterministic-clock
+// test asserts the contract CI leans on: with SHERLOCK_TRACE_DETERMINISTIC
+// set, a trace is a pure function of per-track work — byte-identical
+// across thread-pool widths.
+#include "support/trace.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/metrics.h"
+#include "support/parallel.h"
+
+using namespace sherlock;
+using namespace sherlock::trace;
+
+namespace {
+
+/// Enables the tracer for one test and restores a clean disabled state
+/// afterwards (events drained, determinism env unset).
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+    unsetenv("SHERLOCK_TRACE_DETERMINISTIC");
+  }
+  void enablePlain() {
+    unsetenv("SHERLOCK_TRACE_DETERMINISTIC");
+    Tracer::instance().enable();
+  }
+  void enableDeterministic() {
+    setenv("SHERLOCK_TRACE_DETERMINISTIC", "1", 1);
+    Tracer::instance().enable();
+  }
+};
+
+using TraceTest = TraceFixture;
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  {
+    Span outer("test", "outer");
+    Tracer::instance().instant("test", "point");
+    Tracer::instance().counter("test", "count", 7);
+  }
+  EXPECT_TRUE(Tracer::instance().snapshot().empty());
+  EXPECT_FALSE(Tracer::instance().enabled());
+}
+
+TEST_F(TraceTest, SpanNestingAndOrdering) {
+  enablePlain();
+  {
+    Span outer("test", "outer");
+    { Span inner("test", "inner"); }
+    Tracer::instance().instant("test", "point", "\"k\": 1");
+  }
+  std::vector<TraceEvent> events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  // B outer, B inner, E, i, E — emission order, one track.
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::Begin);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].phase, TraceEvent::Phase::Begin);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].phase, TraceEvent::Phase::End);
+  EXPECT_EQ(events[3].phase, TraceEvent::Phase::Instant);
+  EXPECT_EQ(events[4].phase, TraceEvent::Phase::End);
+  // Timestamps are monotonic in emission order on one thread.
+  for (size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].ts, events[i - 1].ts) << i;
+  // All on the same (implicit) track.
+  for (const TraceEvent& e : events)
+    EXPECT_EQ(e.track, events[0].track);
+}
+
+TEST_F(TraceTest, PerThreadBuffersMergeUnderThreadPool) {
+  enablePlain();
+  constexpr int kItems = 32;
+  ThreadPool pool(4);
+  pool.parallelFor(kItems, [&](int64_t i) {
+    ScopedTrack track(static_cast<uint32_t>(i) + 1,
+                      "item " + std::to_string(i));
+    Span span("test", "work");
+    Tracer::instance().instant("test", "mid");
+  });
+  std::vector<TraceEvent> events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 3u * kItems);
+  // Every track carries exactly its B/i/E triple regardless of which
+  // pool thread ran it.
+  std::vector<int> perTrack(kItems + 1, 0);
+  for (const TraceEvent& e : events) {
+    ASSERT_GE(e.track, 1u);
+    ASSERT_LE(e.track, static_cast<uint32_t>(kItems));
+    perTrack[e.track]++;
+  }
+  for (int t = 1; t <= kItems; ++t) EXPECT_EQ(perTrack[t], 3) << t;
+}
+
+TEST_F(TraceTest, DeterministicTraceIsByteStableAcrossThreadCounts) {
+  enableDeterministic();
+  auto run = [&](int threads) {
+    Tracer::instance().clear();
+    ThreadPool pool(threads);
+    pool.parallelFor(16, [&](int64_t i) {
+      ScopedTrack track(static_cast<uint32_t>(i) + 1,
+                        "item " + std::to_string(i));
+      Span span("test", "work " + std::to_string(i));
+      Tracer::instance().counter("test", "progress",
+                                 static_cast<double>(i));
+    });
+    return Tracer::instance().exportJson();
+  };
+  std::string serial = run(1);
+  std::string wide = run(8);
+  EXPECT_EQ(serial, wide);
+  // Virtual ticks restart per track: the first event of every track
+  // stamps tick 0.
+  std::vector<TraceEvent> events = Tracer::instance().snapshot();
+  uint32_t lastTrack = 0;
+  for (const TraceEvent& e : events) {
+    if (e.track != lastTrack) {
+      EXPECT_EQ(e.ts, 0.0) << "track " << e.track;
+      lastTrack = e.track;
+    }
+  }
+}
+
+TEST_F(TraceTest, ExportJsonIsWellFormedChromeTrace) {
+  enablePlain();
+  Tracer::instance().setTrackName(1, "main \"track\"");
+  {
+    ScopedTrack track(1);
+    Span span("cat", "span");
+    Tracer::instance().instant("cat", "point", "\"inst\": 3");
+    Tracer::instance().counter("cat", "gauge", 2.5);
+  }
+  std::string json = Tracer::instance().exportJson();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [",
+                       0),
+            0u)
+      << json;
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  // Metadata row names the track, with quotes escaped.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("main \\\"track\\\""), std::string::npos);
+  // Instant args and counter value survive as JSON object members.
+  EXPECT_NE(json.find("\"args\": {\"inst\": 3}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"value\": 2.5}"), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+}
+
+TEST_F(TraceTest, ScopedTrackRestoresPreviousTrack) {
+  enablePlain();
+  Tracer::instance().instant("test", "before");
+  {
+    ScopedTrack track(42, "nested");
+    Tracer::instance().instant("test", "inside");
+  }
+  Tracer::instance().instant("test", "after");
+  std::vector<TraceEvent> events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].track, events[2].track);
+  EXPECT_EQ(events[1].track, 42u);
+  EXPECT_NE(events[0].track, 42u);
+}
+
+TEST(MetricsTest, PercentileTrackerLazySortStaysCorrect) {
+  PercentileTracker t;
+  // Interleave records and queries: the cached sort must invalidate on
+  // every record and re-answer correctly.
+  t.record(30);
+  t.record(10);
+  EXPECT_EQ(t.percentile(0), 10);
+  EXPECT_EQ(t.percentile(100), 30);
+  t.record(20);
+  EXPECT_EQ(t.percentile(50), 20);
+  EXPECT_EQ(t.min(), 10);
+  EXPECT_EQ(t.max(), 30);
+  t.record(5);
+  EXPECT_EQ(t.percentile(0), 5);
+  EXPECT_EQ(t.count(), 4u);
+  EXPECT_DOUBLE_EQ(t.mean(), 65.0 / 4.0);
+  t.clear();
+  EXPECT_EQ(t.percentile(50), 0);
+}
+
+TEST(MetricsTest, RegistryCountersGaugesHistograms) {
+  MetricsRegistry reg;
+  reg.add("reqs");
+  reg.add("reqs", 2);
+  reg.setGauge("rate", 0.5);
+  reg.observe("lat_us", 10);
+  reg.observe("lat_us", 20);
+  EXPECT_EQ(reg.counterValue("reqs"), 3u);
+  EXPECT_DOUBLE_EQ(reg.gaugeValue("rate"), 0.5);
+  MetricsRegistry::HistogramSnapshot h = reg.histogram("lat_us");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.mean, 15.0);
+  EXPECT_DOUBLE_EQ(h.min, 10.0);
+  EXPECT_DOUBLE_EQ(h.max, 20.0);
+  // Unknown names answer zero values, not errors.
+  EXPECT_EQ(reg.counterValue("nope"), 0u);
+  EXPECT_EQ(reg.histogram("nope").count, 0u);
+}
+
+TEST(MetricsTest, RegistryJsonSchema) {
+  MetricsRegistry reg;
+  reg.add("b.count");
+  reg.add("a.count", 4);
+  reg.setGauge("g", 1.25);
+  reg.observe("h", 3);
+  std::string json = reg.toJson();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  // std::map members emit keys in sorted order for clean diffs.
+  EXPECT_LT(json.find("\"a.count\": 4"), json.find("\"b.count\": 1"));
+  EXPECT_NE(json.find("\"g\": 1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace

@@ -35,6 +35,7 @@
 #include "mapping/program_analysis.h"
 #include "sim/simulator.h"
 #include "support/parallel.h"
+#include "support/trace.h"
 #include "verify/verifier.h"
 #include "transforms/nand_lowering.h"
 #include "transforms/passes.h"
@@ -73,6 +74,11 @@ struct Options {
   std::string socketPath;   // --socket: serve on a unix socket instead
   int cacheSize = 256;      // --cache-size: LRU capacity (0 disables)
   std::string metricsOut;   // --metrics-out: JSON metrics on shutdown
+  // Observability: --trace-out enables the process-wide span tracer and
+  // writes a Chrome trace_event JSON (Perfetto / chrome://tracing) when
+  // the batch — or the serve session — finishes. Set
+  // SHERLOCK_TRACE_DETERMINISTIC=1 for byte-stable virtual-clock traces.
+  std::string traceOut;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -123,8 +129,14 @@ struct Options {
          "  --cache-size <N>           cached programs held by the\n"
          "                             daemon's LRU (default 256;\n"
          "                             0 disables caching)\n"
-         "  --metrics-out <path>       write hit/miss/latency metrics\n"
-         "                             JSON there on daemon shutdown\n";
+         "  --metrics-out <path>       write the unified metrics JSON\n"
+         "                             (counters/gauges/histograms)\n"
+         "                             there on daemon shutdown\n"
+         "  --trace-out <path>         record spans across the compile\n"
+         "                             pipeline (and daemon requests)\n"
+         "                             and write Chrome trace_event JSON\n"
+         "                             there on exit; load in Perfetto\n"
+         "                             or chrome://tracing\n";
   std::exit(2);
 }
 
@@ -180,6 +192,7 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--socket") o.socketPath = next();
     else if (arg == "--cache-size") o.cacheSize = nextInt();
     else if (arg == "--metrics-out") o.metricsOut = next();
+    else if (arg == "--trace-out") o.traceOut = next();
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
     else o.inputFiles.push_back(arg);
@@ -416,8 +429,10 @@ int runServe(const Options& opts) {
       std::cerr << "sherlockc: cannot write " << opts.metricsOut << "\n";
       return 1;
     }
-    out << stats.toJson();
+    out << service.metricsJson();
   }
+  if (!opts.traceOut.empty())
+    trace::Tracer::instance().writeJson(opts.traceOut);
   return 0;
 }
 
@@ -425,6 +440,7 @@ int runServe(const Options& opts) {
 
 int main(int argc, char** argv) {
   Options opts = parseArgs(argc, argv);
+  if (!opts.traceOut.empty()) trace::Tracer::instance().enable();
   if (opts.serve) return runServe(opts);
 
   struct FileResult {
@@ -435,6 +451,13 @@ int main(int argc, char** argv) {
   ThreadPool pool(opts.jobs);
   std::vector<FileResult> results =
       parallelMap(pool, opts.inputFiles, [&](const std::string& file) {
+        // Each input file is one logical trace track, keyed by its
+        // command-line position — the trace is identical whatever pool
+        // thread (and --jobs value) ends up compiling it.
+        trace::ScopedTrack track(
+            static_cast<uint32_t>(&file - opts.inputFiles.data()) + 1,
+            file);
+        trace::Span span("batch", "compile_file");
         FileResult r;
         try {
           r.text = processFile(file, opts);
@@ -443,6 +466,9 @@ int main(int argc, char** argv) {
         }
         return r;
       });
+
+  if (!opts.traceOut.empty())
+    trace::Tracer::instance().writeJson(opts.traceOut);
 
   bool failed = false;
   for (size_t i = 0; i < results.size(); ++i) {
