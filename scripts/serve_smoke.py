@@ -22,6 +22,11 @@ Usage: serve_smoke.py [--sherlockc build/tools/sherlockc]
                       [--kernels examples/kernels] [--target 256]
                       [--trace-out TRACE.json]
                       [--metrics-out METRICS.json]
+                      [--timeout SECONDS]
+
+--timeout is a hard wall-clock bound on the whole daemon session: a
+hung daemon (deadlock, unbounded queue, stuck drain) is killed and
+reported as a loud failure instead of wedging the CI job.
 
 --trace-out enables the span tracer in the daemon (the file is also
 written by sherlockc on shutdown, for check_trace.py / artifact
@@ -85,6 +90,9 @@ def main():
                     help="enable tracing; daemon writes this trace file")
     ap.add_argument("--metrics-out", default="",
                     help="daemon writes the unified metrics JSON here")
+    ap.add_argument("--timeout", type=float, default=120,
+                    help="hard wall-clock bound in seconds; a hung "
+                         "daemon is killed and reported (default 120)")
     args = ap.parse_args()
 
     paths = sorted(glob.glob(os.path.join(args.kernels, "*.sk")))
@@ -100,8 +108,14 @@ def main():
     if args.metrics_out:
         cmd += ["--metrics-out", args.metrics_out]
     script = build_script(kernels, args.target)
-    proc = subprocess.run(cmd, input=script.encode(),
-                          capture_output=True, timeout=600)
+    try:
+        proc = subprocess.run(cmd, input=script.encode(),
+                              capture_output=True, timeout=args.timeout)
+    except subprocess.TimeoutExpired as e:
+        sys.stderr.write((e.stderr or b"").decode(errors="replace"))
+        print(f"serve_smoke: FAIL — daemon exceeded the {args.timeout}s "
+              f"wall-clock bound and was killed (hung session?)")
+        return 1
     if proc.returncode != 0:
         sys.stderr.write(proc.stderr.decode())
         print(f"serve_smoke: sherlockc --serve exited {proc.returncode}")

@@ -1,0 +1,86 @@
+#include "serve/executor.h"
+
+#include <csignal>
+
+#include "support/parallel.h"
+
+namespace sherlock::serve {
+
+RequestExecutor::RequestExecutor(int workers, size_t maxQueue) {
+  size_t n = workers > 0
+                 ? static_cast<size_t>(workers)
+                 : static_cast<size_t>(ThreadPool::defaultThreads());
+  if (n == 0) n = 1;
+  maxOutstanding_ = n + maxQueue;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+RequestExecutor::~RequestExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  workReady_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool RequestExecutor::trySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    if (queue_.size() + running_ >= maxOutstanding_) return false;
+    queue_.push_back(std::move(task));
+  }
+  workReady_.notify_one();
+  return true;
+}
+
+size_t RequestExecutor::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t RequestExecutor::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t RequestExecutor::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + running_;
+}
+
+void RequestExecutor::workerLoop() {
+  // Keep drain signals (SIGTERM/SIGINT) away from workers: delivery
+  // must land on the protocol thread, whose blocking read is the thing
+  // that needs the EINTR wake-up.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    workReady_.wait(lock,
+                    [this] { return shutdown_ || !queue_.empty(); });
+    // Drain remaining work even on shutdown: every admitted task's
+    // future is awaited by the serve loop, so dropping one would hang
+    // the final flush.
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --running_;
+  }
+}
+
+}  // namespace sherlock::serve

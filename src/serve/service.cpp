@@ -11,7 +11,9 @@
 #include "ir/serialize.h"
 #include "mapping/compiler.h"
 #include "mapping/program_analysis.h"
+#include "serve/persist.h"
 #include "support/diagnostics.h"
+#include "support/failpoint.h"
 #include "support/trace.h"
 #include "transforms/nand_lowering.h"
 #include "transforms/passes.h"
@@ -78,10 +80,22 @@ std::string CompileService::directKey(const std::string& source,
 CompileService::CompileService(ServiceOptions options)
     : options_(std::move(options)),
       direct_(options_.cacheCapacity),
-      cache_(options_.cacheCapacity) {}
+      cache_(options_.cacheCapacity) {
+  // Pre-register the resilience counters and gauges at zero so every
+  // metrics dump carries them (dashboards and the chaos harness read
+  // them unconditionally).
+  for (const char* name :
+       {"serve.requests", "serve.hits", "serve.misses", "serve.errors",
+        "serve.shed", "serve.deadline_exceeded",
+        "serve.injected_faults"})
+    metrics_.add(name, 0);
+  metrics_.setGauge("serve.inflight", 0);
+  metrics_.setGauge("serve.queue_depth", 0);
+}
 
 std::string CompileService::compileBody(
     const CanonicalRequest& request) const {
+  failpoint::check("compile");
   const RequestOptions& o = request.options;
   checkArg(o.emit == "asm" || o.emit == "stats",
            strCat("unknown emit kind '", o.emit, "'"));
@@ -152,35 +166,40 @@ std::string CompileService::compileBody(
 }
 
 CompileResponse CompileService::handle(const std::string& source,
-                                       const RequestOptions& options) {
+                                       const RequestOptions& options,
+                                       const CancelToken* cancel) {
   Clock::time_point t0 = Clock::now();
   CompileResponse resp;
   metrics_.add("serve.requests");
-  std::string memoKey = directKey(source, options);
-  {
-    trace::Span span("serve", "direct_probe");
-    std::lock_guard<std::mutex> lock(mu_);
-    // Direct mode: an exact repeat of a completed request skips parse
-    // and canonicalization and returns the pinned payload verbatim.
-    if (DirectEntry* memo = direct_.get(memoKey)) {
-      resp.ok = true;
-      resp.cacheHit = true;
-      resp.direct = true;
-      resp.key = memo->key;
-      resp.payload = *memo->payload;
-      resp.totalUs = usSince(t0);
-      metrics_.add("serve.hits");
-      metrics_.add("serve.direct_hits");
-      metrics_.observe("serve.hit_us", resp.totalUs);
-      if (trace::Tracer::instance().enabled())
-        trace::Tracer::instance().instant("serve", "direct_hit");
-      return resp;
-    }
-  }
   try {
+    // A request whose deadline expired while it sat in the admission
+    // queue is answered without doing any work at all.
+    if (cancel) cancel->checkpoint("admission");
+    std::string memoKey = directKey(source, options);
+    {
+      trace::Span span("serve", "direct_probe");
+      std::lock_guard<std::mutex> lock(mu_);
+      // Direct mode: an exact repeat of a completed request skips parse
+      // and canonicalization and returns the pinned payload verbatim.
+      if (DirectEntry* memo = direct_.get(memoKey)) {
+        resp.ok = true;
+        resp.cacheHit = true;
+        resp.direct = true;
+        resp.key = memo->key;
+        resp.payload = *memo->payload;
+        resp.totalUs = usSince(t0);
+        metrics_.add("serve.hits");
+        metrics_.add("serve.direct_hits");
+        metrics_.observe("serve.hit_us", resp.totalUs);
+        if (trace::Tracer::instance().enabled())
+          trace::Tracer::instance().instant("serve", "direct_hit");
+        return resp;
+      }
+    }
     ir::Graph g;
     {
       trace::Span span("serve", "parse");
+      failpoint::check("parse");
       if (options.lang == "kernel") {
         g = frontend::compileKernel(source);
       } else if (options.lang == "dag") {
@@ -189,15 +208,18 @@ CompileResponse CompileService::handle(const std::string& source,
         throw Error(strCat("unknown lang '", options.lang, "'"));
       }
     }
+    if (cancel) cancel->checkpoint("parse");
     std::optional<ir::CanonicalForm> canonicalOpt;
     {
       trace::Span span("serve", "canonicalize");
+      failpoint::check("canonicalize");
       g = transforms::canonicalize(g);
       if (options.aggressive) g = transforms::optimize(g);
       if (options.nandLower)
         g = transforms::canonicalize(transforms::lowerToNand(g));
       canonicalOpt.emplace(ir::canonicalForm(g));
     }
+    if (cancel) cancel->checkpoint("canonicalize");
     ir::CanonicalForm& canonical = *canonicalOpt;
     resp.key = cacheKey(canonical.fingerprint(), options);
 
@@ -236,6 +258,7 @@ CompileResponse CompileService::handle(const std::string& source,
       if (options_.onColdCompile) options_.onColdCompile(resp.key);
       Clock::time_point c0 = Clock::now();
       try {
+        if (cancel) cancel->checkpoint("compile");
         trace::Span span("serve", "compile");
         body = std::make_shared<const std::string>(
             compileBody(CanonicalRequest{canonical.graph, options}));
@@ -254,6 +277,7 @@ CompileResponse CompileService::handle(const std::string& source,
       {
         std::lock_guard<std::mutex> lock(mu_);
         cache_.put(resp.key, body);
+        ++cacheGeneration_;
         inflight_.erase(resp.key);
       }
       metrics_.add("serve.misses");
@@ -261,6 +285,12 @@ CompileResponse CompileService::handle(const std::string& source,
       promise.set_value(body);
     } else if (!resp.cacheHit) {
       trace::Span span("serve", "singleflight_wait");
+      // A deadline-carrying waiter bounds its wait instead of riding a
+      // slow builder past its own deadline.
+      if (cancel && cancel->hasDeadline() &&
+          pending.wait_until(cancel->deadline()) ==
+              std::future_status::timeout)
+        throw DeadlineExceeded("singleflight_wait");
       body = pending.get();  // rethrows the builder's failure
       metrics_.add("serve.coalesced");
       resp.coalesced = true;
@@ -276,13 +306,92 @@ CompileResponse CompileService::handle(const std::string& source,
       direct_.put(memoKey, DirectEntry{std::move(full), resp.key});
     }
     if (resp.cacheHit) metrics_.observe("serve.hit_us", resp.totalUs);
+  } catch (const DeadlineExceeded& e) {
+    resp.ok = false;
+    resp.code = "deadline_exceeded";
+    resp.payload = strCat("error: ", e.what(), "\n");
+    resp.totalUs = usSince(t0);
+    metrics_.add("serve.errors");
+    metrics_.add("serve.deadline_exceeded");
+  } catch (const failpoint::InjectedFault& e) {
+    resp.ok = false;
+    resp.code = "injected_fault";
+    resp.payload = strCat("error: ", e.what(), "\n");
+    resp.totalUs = usSince(t0);
+    metrics_.add("serve.errors");
+    metrics_.add("serve.injected_faults");
   } catch (const std::exception& e) {
     resp.ok = false;
+    resp.code = "compile_error";
     resp.payload = strCat("error: ", e.what(), "\n");
     resp.totalUs = usSince(t0);
     metrics_.add("serve.errors");
   }
   return resp;
+}
+
+void CompileService::noteShed() { metrics_.add("serve.shed"); }
+
+void CompileService::setLoadGauges(size_t inflight, size_t queueDepth) {
+  metrics_.setGauge("serve.inflight", static_cast<double>(inflight));
+  metrics_.setGauge("serve.queue_depth",
+                    static_cast<double>(queueDepth));
+}
+
+PersistResult CompileService::saveCache(const std::string& path) {
+  // Snapshot the entries under the lock, write the file outside it (a
+  // multi-megabyte fsync must not stall request lookups).
+  std::vector<std::pair<std::string, std::string>> entries;
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generation = cacheGeneration_;
+    std::vector<std::string> keys = cache_.keysMruToLru();
+    entries.reserve(keys.size());
+    // LRU first: reloading in file order then rebuilds the same
+    // recency, with the MRU entry inserted last.
+    for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+      const std::shared_ptr<const std::string>* body = cache_.peek(*it);
+      if (body) entries.emplace_back(*it, **body);
+    }
+  }
+  SnapshotStats stats = saveCacheSnapshot(path, entries);
+  PersistResult result;
+  result.ok = stats.ok;
+  result.entries = stats.written;
+  if (stats.ok) {
+    std::lock_guard<std::mutex> lock(mu_);
+    persistedGeneration_ = generation;
+    metrics_.add("serve.persist_saved", stats.written);
+  } else {
+    metrics_.add("serve.persist_errors");
+  }
+  return result;
+}
+
+PersistResult CompileService::loadCache(const std::string& path) {
+  SnapshotStats stats = loadCacheSnapshot(
+      path, [this](std::string key, std::string body) {
+        std::lock_guard<std::mutex> lock(mu_);
+        cache_.put(std::move(key),
+                   std::make_shared<const std::string>(std::move(body)));
+      });
+  PersistResult result;
+  result.ok = stats.ok;
+  result.entries = stats.loaded;
+  result.dropped = stats.dropped;
+  metrics_.add("serve.persist_loaded", stats.loaded);
+  metrics_.add("serve.persist_dropped", stats.dropped);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Warm entries count as already persisted; only new compiles dirty
+  // the cache again.
+  persistedGeneration_ = cacheGeneration_;
+  return result;
+}
+
+bool CompileService::cacheDirty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cacheGeneration_ != persistedGeneration_;
 }
 
 void CompileService::recordQueueWait(double us) {

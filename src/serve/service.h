@@ -42,6 +42,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "support/cancel.h"
 #include "support/lru_cache.h"
 #include "support/metrics.h"
 
@@ -64,6 +65,10 @@ struct RequestOptions {
   int spareRows = 0;
   bool nandLower = false;
   bool aggressive = false;  ///< -O inverter-folding pipeline
+  /// Per-request deadline in milliseconds, measured from protocol
+  /// admission; 0 disables. A control knob, not a compile input: it is
+  /// deliberately excluded from both cache keys.
+  double deadlineMs = 0;
 };
 
 struct ServiceOptions {
@@ -83,6 +88,10 @@ struct CompileResponse {
   bool coalesced = false;   ///< waited on an identical in-flight compile
   std::string payload;      ///< binding header + program text, or error
   std::string key;          ///< full cache key (fingerprint + config)
+  /// Machine-readable failure class when !ok: "deadline_exceeded",
+  /// "injected_fault", or "compile_error". The protocol layer adds its
+  /// own codes ("request_too_large", "truncated", "bad_option").
+  std::string code;
   double totalUs = 0;       ///< wall-clock of handle()
   double compileUs = 0;     ///< cold-compile portion (0 on hit)
 };
@@ -103,16 +112,46 @@ struct ServiceStats {
   std::string toJson() const;
 };
 
+/// Counts accepted/rejected entries of a cache snapshot operation.
+struct PersistResult {
+  size_t entries = 0;  ///< written (save) or accepted (load)
+  size_t dropped = 0;  ///< rejected as corrupt/stale on load
+  bool ok = true;      ///< I/O-level success
+};
+
 class CompileService {
  public:
   explicit CompileService(ServiceOptions options = {});
 
   /// Compiles (or serves from cache) one kernel. Never throws: failures
-  /// come back as ok=false with the diagnostic in payload.
+  /// come back as ok=false with the diagnostic in payload and the
+  /// failure class in code. `cancel` (optional) is checkpointed between
+  /// phases — admission, post-parse, post-canonicalize, pre-compile and
+  /// while waiting on a coalesced compile — so an expired deadline
+  /// aborts the request cooperatively with code "deadline_exceeded".
   CompileResponse handle(const std::string& source,
-                         const RequestOptions& options);
+                         const RequestOptions& options,
+                         const CancelToken* cancel = nullptr);
 
   ServiceStats stats() const;
+
+  /// Load-shed accounting: the serve loop reports each BUSY rejection
+  /// ("serve.shed" counter) and the executor's current load
+  /// ("serve.inflight" / "serve.queue_depth" gauges).
+  void noteShed();
+  void setLoadGauges(size_t inflight, size_t queueDepth);
+
+  /// Cache persistence (serve/persist.h): saveCache snapshots the
+  /// canonical program cache (LRU→MRU order, so a reload rebuilds the
+  /// same recency) atomically; loadCache warms it entry by entry,
+  /// dropping anything corrupt or stale. Counters:
+  /// serve.persist_saved/_loaded/_dropped/_errors.
+  PersistResult saveCache(const std::string& path);
+  PersistResult loadCache(const std::string& path);
+
+  /// True when the canonical cache changed since the last saveCache()
+  /// or loadCache() — the serve loop persists only then.
+  bool cacheDirty() const;
 
   /// Records how long a request sat queued before handle() ran (the
   /// serve loop measures REQ-parse to dispatch) into the
@@ -157,6 +196,10 @@ class CompileService {
   LruCache<std::string, DirectEntry> direct_;
   LruCache<std::string, std::shared_ptr<const std::string>> cache_;
   std::unordered_map<std::string, Inflight> inflight_;
+  /// Bumped on every canonical-cache insert; cacheDirty() compares it
+  /// against the generation last persisted.
+  uint64_t cacheGeneration_ = 0;
+  uint64_t persistedGeneration_ = 0;
   /// Single store for every service counter/gauge/histogram; thread-safe
   /// on its own lock (safe to touch with or without mu_ held).
   mutable MetricsRegistry metrics_;

@@ -4,13 +4,24 @@
 // socketpair-based tests) use to run the loop over raw descriptors.
 //
 // Scope: connections are served one at a time — concurrency lives
-// *inside* a session (batches fan out on the thread pool), which is the
-// throughput path that matters for a compile cache; a client that wants
-// parallel streams opens its batches in one session. A session ending
-// in SHUTDOWN stops the accept loop; QUIT/EOF just closes that
-// connection.
+// *inside* a session (requests dispatch eagerly to the bounded
+// executor), which is the throughput path that matters for a compile
+// cache; a client that wants parallel streams opens its batches in one
+// session. A session ending in SHUTDOWN stops the accept loop;
+// QUIT/EOF just closes that connection.
+//
+// Resilience: the accept loop survives transient accept() failures
+// (EINTR, ECONNABORTED, fd exhaustion) and sessions that die mid-
+// request — a client disconnecting after REQ but before END yields one
+// truncated-request response into a dead socket, not a daemon crash —
+// and honors the drain flag: a signal interrupting accept() or an
+// in-session read ends that wait instead of being retried. The "io"
+// failpoint (support/failpoint.h) injects connection drops at the
+// read/write level: a triggered point reads as EOF / a failed write,
+// exactly what a vanished client looks like.
 #pragma once
 
+#include <atomic>
 #include <streambuf>
 #include <string>
 
@@ -19,10 +30,12 @@
 namespace sherlock::serve {
 
 /// Bidirectional streambuf over a file descriptor (socket or pipe).
-/// Does not own the descriptor.
+/// Does not own the descriptor. With `stop`, an EINTR'd read/write
+/// checks the flag and reports EOF/failure instead of retrying, so a
+/// drain signal ends a session blocked on a quiet client.
 class FdStreamBuf : public std::streambuf {
  public:
-  explicit FdStreamBuf(int fd);
+  explicit FdStreamBuf(int fd, const std::atomic<bool>* stop = nullptr);
 
  protected:
   int_type underflow() override;
@@ -31,21 +44,28 @@ class FdStreamBuf : public std::streambuf {
 
  private:
   bool flushBuffer();
+  bool stopRequested() const {
+    return stop_ && stop_->load(std::memory_order_relaxed);
+  }
 
   int fd_;
+  const std::atomic<bool>* stop_;
   char inBuf_[4096];
   char outBuf_[4096];
 };
 
 /// Runs one protocol session over an open descriptor (used per accepted
-/// connection and by the socketpair tests).
+/// connection and by the socketpair tests). Never throws for
+/// session-level problems: a connection dying mid-protocol ends the
+/// session, not the server.
 ServeLoopResult serveFd(int fd, CompileService& service,
                         const ServeLoopOptions& options);
 
 /// Binds `path` (unlinking any stale socket first), accepts connections
-/// until a session issues SHUTDOWN, and serves each with serveFd.
-/// Returns the number of sessions served; throws Error on socket
-/// failures.
+/// until a session issues SHUTDOWN or `options.stop` flips, and serves
+/// each with serveFd. Returns the number of sessions served; throws
+/// Error only for setup failures (bind/listen) — accept-time errors are
+/// retried or ride out the affected connection.
 uint64_t runUnixSocketServer(const std::string& path,
                              CompileService& service,
                              const ServeLoopOptions& options);

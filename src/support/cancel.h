@@ -1,0 +1,93 @@
+// Cooperative cancellation and deadlines for long-running work.
+//
+// A CancelToken carries an optional deadline (steady-clock) and an
+// explicit cancel flag. Work that wants to be cancellable calls
+// checkpoint("phase") at its phase boundaries; an expired or cancelled
+// token makes the checkpoint throw DeadlineExceeded, which the owner
+// turns into a structured error response. There is no preemption — a
+// phase that never checkpoints runs to completion — so checkpoints
+// must bracket every potentially slow step.
+//
+// Tokens are written by one thread (the admitting serve loop, which may
+// later tighten the deadline for a graceful drain) and read by another
+// (the worker running the request); both sides go through one relaxed
+// atomic, so no lock is needed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace sherlock {
+
+/// Thrown by CancelToken::checkpoint when the deadline has passed (or
+/// the token was cancelled). Carries the phase name that noticed.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& phase)
+      : Error(strCat("deadline exceeded in ", phase)), phase_(phase) {}
+
+  const std::string& phase() const { return phase_; }
+
+ private:
+  std::string phase_;
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static constexpr int64_t kNoDeadline =
+      std::numeric_limits<int64_t>::max();
+
+  /// Tightens the deadline to `t` (keeps the earlier of the two; a
+  /// token's deadline only ever moves closer).
+  void tighten(Clock::time_point t) {
+    int64_t ns = t.time_since_epoch().count();
+    int64_t cur = deadlineNs_.load(std::memory_order_relaxed);
+    while (ns < cur && !deadlineNs_.compare_exchange_weak(
+                           cur, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Tightens the deadline to now + `ms`.
+  void tightenAfterMs(double ms) {
+    tighten(Clock::now() + std::chrono::nanoseconds(
+                               static_cast<int64_t>(ms * 1e6)));
+  }
+
+  /// Marks the token cancelled outright (checkpoints throw from now on).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool hasDeadline() const {
+    return deadlineNs_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  Clock::time_point deadline() const {
+    return Clock::time_point(std::chrono::nanoseconds(
+        deadlineNs_.load(std::memory_order_relaxed)));
+  }
+
+  bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    int64_t ns = deadlineNs_.load(std::memory_order_relaxed);
+    return ns != kNoDeadline &&
+           Clock::now().time_since_epoch().count() >= ns;
+  }
+
+  /// Throws DeadlineExceeded (naming `phase`) if expired or cancelled;
+  /// otherwise a no-op.
+  void checkpoint(const char* phase) const {
+    if (expired()) throw DeadlineExceeded(phase);
+  }
+
+ private:
+  std::atomic<int64_t> deadlineNs_{kNoDeadline};
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace sherlock

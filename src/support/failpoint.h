@@ -1,0 +1,107 @@
+// Deterministic fault-injection points ("failpoints") for chaos
+// testing the serving stack.
+//
+// A failpoint is a named site in the code (`failpoint::check("parse")`)
+// that normally costs one relaxed atomic load and does nothing. When
+// the registry is configured — from the SHERLOCK_FAILPOINTS environment
+// variable or `sherlockc --failpoints` — matching sites take one of
+// three actions per the spec:
+//
+//   SHERLOCK_FAILPOINTS="parse:0.1,compile:err,io:delay50ms"
+//
+//   <name>:<p>          throw InjectedFault with probability p in [0,1]
+//   <name>:err          throw InjectedFault on every evaluation
+//   <name>:delay<N>ms   sleep N milliseconds, then continue
+//
+// Probabilistic points draw from a per-point splitmix64 stream seeded
+// from (global seed, point name), so a fixed seed produces the same
+// trigger sequence per point on every run — the chaos suite's
+// determinism contract. Draw order across *threads* is serialized per
+// point by the registry lock, so per-point sequences are stable even
+// when the points themselves race.
+//
+// InjectedFault derives from Error: injection surfaces through the same
+// structured error paths real failures use (which is the point — the
+// chaos harness asserts those paths stay airtight under fire).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace sherlock::failpoint {
+
+/// An artificially injected failure (never thrown unless a failpoint
+/// spec is active).
+class InjectedFault : public Error {
+ public:
+  using Error::Error;
+};
+
+class FailPoints {
+ public:
+  static FailPoints& instance();
+
+  /// Replaces the active configuration with `spec` (the comma-separated
+  /// grammar above; empty string deactivates everything). Throws Error
+  /// on a malformed spec. `seed` derives every probabilistic point's
+  /// draw stream.
+  void configure(const std::string& spec, uint64_t seed = 1);
+
+  /// configure() from SHERLOCK_FAILPOINTS / SHERLOCK_FAILPOINT_SEED if
+  /// set; no-op otherwise. Returns true when a spec was applied.
+  bool configureFromEnv();
+
+  /// Deactivates all points (check() returns to the one-load fast path).
+  void reset();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Evaluates the point `name`: sleeps, throws InjectedFault, or does
+  /// nothing, per the active spec. Unknown names are no-ops.
+  void evaluate(const char* name);
+
+  /// Times `name` was evaluated / actually fired since configure().
+  uint64_t evaluations(const std::string& name) const;
+  uint64_t triggers(const std::string& name) const;
+
+  /// (name, trigger count) for every configured point, name-sorted.
+  std::vector<std::pair<std::string, uint64_t>> allTriggers() const;
+
+ private:
+  enum class Action { Error, Delay, Probability };
+
+  struct Point {
+    Action action = Action::Error;
+    double probability = 0;
+    int delayMs = 0;
+    uint64_t rngState = 0;  ///< per-point splitmix64 stream
+    uint64_t evaluations = 0;
+    uint64_t triggers = 0;
+  };
+
+  FailPoints() = default;
+  static Point parseAction(const std::string& name,
+                           const std::string& action, uint64_t seed);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, Point> points_;
+};
+
+/// The zero-cost-when-disabled emission site: one relaxed atomic load,
+/// then (only when a spec is active) the full evaluation.
+inline void check(const char* name) {
+  FailPoints& fp = FailPoints::instance();
+  if (fp.enabled()) fp.evaluate(name);
+}
+
+}  // namespace sherlock::failpoint

@@ -57,6 +57,14 @@ class LruCache {
   /// through this without perturbing it).
   bool contains(const K& key) const { return index_.count(key) != 0; }
 
+  /// Value lookup without a recency update, or nullptr on miss — the
+  /// cache-snapshot writer walks every entry through this so that
+  /// persisting the cache doesn't scramble its eviction order.
+  const V* peek(const K& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
   /// Keys from most- to least-recently used.
   std::vector<K> keysMruToLru() const {
     std::vector<K> keys;

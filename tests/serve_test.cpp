@@ -5,9 +5,12 @@
 #include "serve/service.h"
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
+#include <chrono>
+#include <cstring>
 #include <sstream>
 #include <thread>
 
@@ -75,6 +78,22 @@ TEST(LruCache, OverwriteRefreshesWithoutEviction) {
   EXPECT_EQ(cache.evictions(), 0u);
   EXPECT_EQ(*cache.get("a"), 10);
   EXPECT_EQ(cache.keysMruToLru(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(LruCache, PeekReadsWithoutPromoting) {
+  LruCache<std::string, int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  const int* peeked = cache.peek("a");
+  ASSERT_NE(peeked, nullptr);
+  EXPECT_EQ(*peeked, 1);
+  // peek must not refresh recency: "a" is still the eviction victim
+  // (the persistence snapshot relies on this to walk the cache without
+  // reshuffling it).
+  EXPECT_EQ(cache.keysMruToLru(), (std::vector<std::string>{"b", "a"}));
+  cache.put("c", 3);
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_EQ(cache.peek("missing"), nullptr);
 }
 
 TEST(LruCache, ZeroCapacityDisablesCaching) {
@@ -359,4 +378,75 @@ TEST(ServeSocket, SessionOverSocketpair) {
   ::close(fds[1]);
   EXPECT_NE(out.find("RESP s1 ok"), std::string::npos) << out;
   EXPECT_EQ(service.stats().counters.requests, 1u);
+}
+
+namespace {
+
+/// Connects a unix stream socket to `path`; -1 on failure.
+int connectUnix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+TEST(ServeSocket, ClientDisconnectMidRequestDoesNotKillTheServer) {
+  std::string path = ::testing::TempDir() + "sherlock_serve_sock_" +
+                     std::to_string(::getpid());
+  ::unlink(path.c_str());
+  CompileService service;
+  ServeLoopOptions options;
+  options.defaults = smallTarget();
+  options.threads = 1;
+  std::thread server(
+      [&] { runUnixSocketServer(path, service, options); });
+
+  // Wait for the listener to come up.
+  int victim = -1;
+  for (int spin = 0; spin < 2000 && victim < 0; ++spin) {
+    victim = connectUnix(path);
+    if (victim < 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(victim, 0) << "server never bound " << path;
+
+  // Session 1: start a request, then vanish before END. The daemon
+  // sees EOF mid-body (a truncated request) and its response write
+  // lands in a dead socket — neither may take the server down.
+  std::string partial = "REQ dead\ninput a\n";
+  ASSERT_EQ(::write(victim, partial.data(), partial.size()),
+            static_cast<ssize_t>(partial.size()));
+  ::close(victim);
+
+  // Session 2: a well-formed request must still be served, proving the
+  // accept loop recovered.
+  int client = -1;
+  for (int spin = 0; spin < 2000 && client < 0; ++spin) {
+    client = connectUnix(path);
+    if (client < 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(client, 0);
+  std::string script =
+      "REQ alive\n" + dagText("a", "b", "c") + "END\nSHUTDOWN\n";
+  ASSERT_EQ(::write(client, script.data(), script.size()),
+            static_cast<ssize_t>(script.size()));
+  ::shutdown(client, SHUT_WR);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(client, buf, sizeof(buf))) > 0)
+    out.append(buf, static_cast<size_t>(n));
+  ::close(client);
+  server.join();
+  EXPECT_NE(out.find("RESP alive ok"), std::string::npos) << out;
 }

@@ -16,6 +16,8 @@
 // order, each under a `# ==> file <==` banner, regardless of which job
 // finishes first; --jobs bounds the worker count (default: the
 // SHERLOCK_THREADS / hardware default).
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -34,6 +36,7 @@
 #include "mapping/compiler.h"
 #include "mapping/program_analysis.h"
 #include "sim/simulator.h"
+#include "support/failpoint.h"
 #include "support/parallel.h"
 #include "support/trace.h"
 #include "verify/verifier.h"
@@ -74,6 +77,18 @@ struct Options {
   std::string socketPath;   // --socket: serve on a unix socket instead
   int cacheSize = 256;      // --cache-size: LRU capacity (0 disables)
   std::string metricsOut;   // --metrics-out: JSON metrics on shutdown
+  // Resilience knobs (Issue 10): deadlines, backpressure bounds,
+  // graceful-drain grace, crash-safe cache persistence, and the
+  // deterministic fault-injection harness.
+  double defaultDeadlineMs = 0;   // --default-deadline-ms (0 = none)
+  int maxInflight = 0;            // --max-inflight (0 = --jobs/default)
+  int maxQueue = 1024;            // --max-queue admission bound
+  int maxRequestBytes = 4 << 20;  // --max-request-bytes
+  int retryAfterMs = 25;          // --retry-after-ms BUSY hint
+  double drainDeadlineMs = 2000;  // --drain-deadline-ms
+  std::string cachePersist;       // --cache-persist snapshot path
+  std::string failpoints;         // --failpoints spec (overrides env)
+  int failpointSeed = 1;          // --failpoint-seed
   // Observability: --trace-out enables the process-wide span tracer and
   // writes a Chrome trace_event JSON (Perfetto / chrome://tracing) when
   // the batch — or the serve session — finishes. Set
@@ -132,6 +147,34 @@ struct Options {
          "  --metrics-out <path>       write the unified metrics JSON\n"
          "                             (counters/gauges/histograms)\n"
          "                             there on daemon shutdown\n"
+         "  --default-deadline-ms <ms> daemon-wide per-request deadline;\n"
+         "                             requests override with\n"
+         "                             deadline-ms= (default 0 = none)\n"
+         "  --max-inflight <N>         concurrent compiles before\n"
+         "                             requests queue (default: --jobs)\n"
+         "  --max-queue <N>            queued requests beyond which new\n"
+         "                             ones are shed with BUSY\n"
+         "                             (default 1024)\n"
+         "  --max-request-bytes <N>    cap on one request's body; larger\n"
+         "                             requests answer\n"
+         "                             code=request_too_large\n"
+         "                             (default 4194304)\n"
+         "  --retry-after-ms <N>       backoff hint carried by BUSY\n"
+         "                             responses (default 25)\n"
+         "  --drain-deadline-ms <ms>   grace for in-flight requests when\n"
+         "                             SIGTERM/SIGINT drains the daemon\n"
+         "                             (default 2000)\n"
+         "  --cache-persist <path>     crash-safe cache snapshot: warm\n"
+         "                             the cache from <path> on startup\n"
+         "                             (corrupt entries dropped, never\n"
+         "                             fatal) and atomically rewrite it\n"
+         "                             whenever a flush added entries\n"
+         "  --failpoints <spec>        deterministic fault injection,\n"
+         "                             e.g. parse:0.1,compile:err,\n"
+         "                             io:delay50ms (overrides the\n"
+         "                             SHERLOCK_FAILPOINTS env var)\n"
+         "  --failpoint-seed <N>       seed for probabilistic failpoints\n"
+         "                             (default 1)\n"
          "  --trace-out <path>         record spans across the compile\n"
          "                             pipeline (and daemon requests)\n"
          "                             and write Chrome trace_event JSON\n"
@@ -192,6 +235,15 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--socket") o.socketPath = next();
     else if (arg == "--cache-size") o.cacheSize = nextInt();
     else if (arg == "--metrics-out") o.metricsOut = next();
+    else if (arg == "--default-deadline-ms") o.defaultDeadlineMs = nextDouble();
+    else if (arg == "--max-inflight") o.maxInflight = nextInt();
+    else if (arg == "--max-queue") o.maxQueue = nextInt();
+    else if (arg == "--max-request-bytes") o.maxRequestBytes = nextInt();
+    else if (arg == "--retry-after-ms") o.retryAfterMs = nextInt();
+    else if (arg == "--drain-deadline-ms") o.drainDeadlineMs = nextDouble();
+    else if (arg == "--cache-persist") o.cachePersist = next();
+    else if (arg == "--failpoints") o.failpoints = next();
+    else if (arg == "--failpoint-seed") o.failpointSeed = nextInt();
     else if (arg == "--trace-out") o.traceOut = next();
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
@@ -380,16 +432,67 @@ std::string processFile(const std::string& inputFile, const Options& opts) {
   throw Error(strCat("unknown --emit kind '", opts.emit, "'"));
 }
 
-/// Daemon mode: run the compile service until EOF/QUIT/SHUTDOWN, then
-/// dump metrics (stderr always; --metrics-out additionally as JSON).
+/// Graceful-drain flag: SIGTERM/SIGINT flip it; the serve loop and the
+/// socket accept loop poll it (their blocking syscalls see EINTR — the
+/// handlers are installed without SA_RESTART on purpose).
+std::atomic<bool> gStopRequested{false};
+
+void onStopSignal(int) { gStopRequested.store(true); }
+
+void installStopHandlers() {
+  struct sigaction sa{};
+  sa.sa_handler = onStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked accept/read must wake up
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+/// Daemon mode: run the compile service until EOF/QUIT/SHUTDOWN/signal,
+/// then dump metrics (stderr always; --metrics-out additionally as
+/// JSON) and persist the cache snapshot if --cache-persist is set.
 int runServe(const Options& opts) {
   serve::ServiceOptions sopts;
   sopts.cacheCapacity =
       opts.cacheSize < 0 ? 0 : static_cast<size_t>(opts.cacheSize);
   serve::CompileService service(sopts);
 
+  // Fault injection: an explicit --failpoints spec wins; otherwise the
+  // SHERLOCK_FAILPOINTS environment variable (if set) applies.
+  try {
+    if (!opts.failpoints.empty())
+      failpoint::FailPoints::instance().configure(
+          opts.failpoints, static_cast<uint64_t>(opts.failpointSeed));
+    else
+      failpoint::FailPoints::instance().configureFromEnv();
+  } catch (const Error& e) {
+    std::cerr << "sherlockc: bad failpoint spec: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!opts.cachePersist.empty()) {
+    serve::PersistResult warm = service.loadCache(opts.cachePersist);
+    if (warm.entries || warm.dropped)
+      std::cerr << "sherlockc: cache snapshot " << opts.cachePersist
+                << ": " << warm.entries << " entries warmed, "
+                << warm.dropped << " dropped\n";
+  }
+
+  installStopHandlers();
+
   serve::ServeLoopOptions lopts;
   lopts.threads = opts.jobs;
+  lopts.maxInflight = opts.maxInflight;
+  lopts.maxQueue =
+      opts.maxQueue < 0 ? 0 : static_cast<size_t>(opts.maxQueue);
+  lopts.maxRequestBytes = opts.maxRequestBytes < 1
+                              ? 1
+                              : static_cast<size_t>(opts.maxRequestBytes);
+  lopts.retryAfterMs = opts.retryAfterMs;
+  lopts.drainDeadlineMs = opts.drainDeadlineMs;
+  lopts.cachePersistPath = opts.cachePersist;
+  lopts.stop = &gStopRequested;
+  lopts.defaults.deadlineMs = opts.defaultDeadlineMs;
   lopts.defaults.targetDim = opts.targetDim;
   lopts.defaults.tech = opts.tech;
   lopts.defaults.strategy = opts.strategy;
@@ -415,6 +518,11 @@ int runServe(const Options& opts) {
     return 1;
   }
 
+  // Final snapshot: catches entries added by the last flush and the
+  // drain path (flush-time persistence already covered steady state).
+  if (!opts.cachePersist.empty() && service.cacheDirty())
+    service.saveCache(opts.cachePersist);
+
   serve::ServiceStats stats = service.stats();
   std::cerr << "sherlockc: served " << stats.counters.requests
             << " requests (" << stats.counters.hits << " hits, "
@@ -423,6 +531,11 @@ int runServe(const Options& opts) {
             << stats.counters.errors << " errors, "
             << stats.counters.evictions << " evictions; hit rate "
             << stats.counters.hitRate() << ")\n";
+  if (failpoint::FailPoints::instance().enabled())
+    for (const auto& [name, count] :
+         failpoint::FailPoints::instance().allTriggers())
+      std::cerr << "sherlockc: failpoint " << name << ": " << count
+                << " triggers\n";
   if (!opts.metricsOut.empty()) {
     std::ofstream out(opts.metricsOut);
     if (!out) {
